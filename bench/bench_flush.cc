@@ -1,0 +1,106 @@
+// E6: cost of the persistence primitives whose failure-free use TSP
+// eliminates — cache-line write-back instructions, fences, and msync.
+// These are the per-operation prices behind Table 1's "log + flush"
+// column and behind the §3 observation that postponing them pays.
+
+#include <benchmark/benchmark.h>
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "common/flush.h"
+
+namespace {
+
+alignas(64) char g_buffer[1 << 16];
+
+void BM_PlainStore(benchmark::State& state) {
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    auto* slot = reinterpret_cast<std::uint64_t*>(
+        &g_buffer[(i * 64) & 0xFFFF]);
+    *slot = i++;
+    benchmark::ClobberMemory();
+  }
+}
+BENCHMARK(BM_PlainStore);
+
+template <tsp::FlushInstruction kInsn>
+void BM_StoreFlush(benchmark::State& state) {
+  if (!tsp::CpuSupports(kInsn)) {
+    state.SkipWithError("instruction not supported");
+    return;
+  }
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    char* line = &g_buffer[(i * 64) & 0xFFFF];
+    *reinterpret_cast<std::uint64_t*>(line) = i++;
+    tsp::FlushLine(line, kInsn);
+  }
+}
+BENCHMARK(BM_StoreFlush<tsp::FlushInstruction::kClflush>)
+    ->Name("BM_StoreFlush/clflush");
+BENCHMARK(BM_StoreFlush<tsp::FlushInstruction::kClflushopt>)
+    ->Name("BM_StoreFlush/clflushopt");
+BENCHMARK(BM_StoreFlush<tsp::FlushInstruction::kClwb>)
+    ->Name("BM_StoreFlush/clwb");
+
+template <tsp::FlushInstruction kInsn>
+void BM_StoreFlushFence(benchmark::State& state) {
+  if (!tsp::CpuSupports(kInsn)) {
+    state.SkipWithError("instruction not supported");
+    return;
+  }
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    char* line = &g_buffer[(i * 64) & 0xFFFF];
+    *reinterpret_cast<std::uint64_t*>(line) = i++;
+    tsp::FlushLine(line, kInsn);
+    tsp::StoreFence();
+  }
+}
+BENCHMARK(BM_StoreFlushFence<tsp::FlushInstruction::kClflush>)
+    ->Name("BM_StoreFlushFence/clflush");
+BENCHMARK(BM_StoreFlushFence<tsp::FlushInstruction::kClflushopt>)
+    ->Name("BM_StoreFlushFence/clflushopt");
+BENCHMARK(BM_StoreFlushFence<tsp::FlushInstruction::kClwb>)
+    ->Name("BM_StoreFlushFence/clwb");
+
+void BM_FlushRange(benchmark::State& state) {
+  const std::size_t bytes = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    std::memset(g_buffer, 0x5A, bytes);
+    tsp::FlushRange(g_buffer, bytes);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_FlushRange)->Arg(64)->Arg(256)->Arg(4096)->Arg(65536);
+
+// The conventional-hardware alternative: synchronously msync'ing a
+// dirty page of a shared file-backed mapping (what a non-TSP plan on a
+// machine without NVM must do per commit).
+void BM_MsyncDirtyPage(benchmark::State& state) {
+  const char* path = "/dev/shm/tsp_bench_msync.bin";
+  unlink(path);
+  const int fd = open(path, O_RDWR | O_CREAT, 0644);
+  (void)!ftruncate(fd, 1 << 20);
+  char* map = static_cast<char*>(
+      mmap(nullptr, 1 << 20, PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0));
+  close(fd);
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    char* page = map + ((i++ * 4096) & 0xFF000);
+    *reinterpret_cast<std::uint64_t*>(page) = i;
+    msync(page, 4096, MS_SYNC);
+  }
+  munmap(map, 1 << 20);
+  unlink(path);
+}
+BENCHMARK(BM_MsyncDirtyPage);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,84 @@
+// E8 (ablation): the paper fixes "one mutex per 1000 buckets" for its
+// mutex-based map (§5.1). This sweep shows the throughput of the §5.1
+// workload across lock granularities, locating the plateau that makes
+// 1000 a reasonable choice, for both the native and the Atlas-TSP map.
+//
+// Flags: --threads N (default 4)  --iters N (default 50000/thread)
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "workload/map_session.h"
+#include "workload/workload.h"
+
+namespace {
+
+using tsp::workload::MapSession;
+using tsp::workload::MapVariant;
+using tsp::workload::RunMapWorkload;
+using tsp::workload::WorkloadOptions;
+
+double RunOne(MapVariant variant, std::uint64_t buckets_per_lock,
+              const WorkloadOptions& workload) {
+  const std::string path =
+      "/dev/shm/tsp_bench_grain_" + std::to_string(getpid()) + ".heap";
+  unlink(path.c_str());
+  MapSession::Config config;
+  config.variant = variant;
+  config.path = path;
+  config.heap_size = 1024u << 20;
+  config.runtime_area_size = 64u << 20;
+  config.hash_options.bucket_count = 1 << 18;
+  config.hash_options.buckets_per_lock = buckets_per_lock;
+  auto session = MapSession::OpenOrCreate(config);
+  if (!session.ok()) {
+    std::fprintf(stderr, "%s\n", session.status().ToString().c_str());
+    std::exit(1);
+  }
+  const double miters =
+      RunMapWorkload((*session)->map(), workload).millions_iter_per_sec;
+  (*session)->CloseClean();
+  session->reset();
+  unlink(path.c_str());
+  return miters;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  WorkloadOptions workload;
+  workload.threads = 4;
+  workload.iterations_per_thread = 50000;
+  workload.high_range = 1 << 18;
+  for (int i = 1; i + 1 < argc; i += 2) {
+    if (std::strcmp(argv[i], "--threads") == 0) {
+      workload.threads = std::atoi(argv[i + 1]);
+    } else if (std::strcmp(argv[i], "--iters") == 0) {
+      workload.iterations_per_thread =
+          std::strtoull(argv[i + 1], nullptr, 0);
+    }
+  }
+
+  const std::uint64_t grains[] = {1, 10, 100, 1000, 10000, 262144};
+  std::printf("Lock-granularity ablation (%d threads, 2^18 buckets): "
+              "Miter/s of the Table-1 workload\n\n",
+              workload.threads);
+  std::printf("  %-18s %12s %12s %8s\n", "buckets per lock", "native",
+              "atlas (TSP)", "locks");
+  for (const std::uint64_t grain : grains) {
+    const double native =
+        RunOne(MapVariant::kMutexNative, grain, workload);
+    const double atlas =
+        RunOne(MapVariant::kMutexLogOnly, grain, workload);
+    const std::uint64_t locks = ((1 << 18) + grain - 1) / grain;
+    std::printf("  %-18llu %12.3f %12.3f %8llu%s\n",
+                static_cast<unsigned long long>(grain), native, atlas,
+                static_cast<unsigned long long>(locks),
+                grain == 1000 ? "   <- the paper's setting" : "");
+  }
+  return 0;
+}

@@ -1,0 +1,93 @@
+// E1 companion: google-benchmark view of the Table-1 variants with a
+// thread sweep. Each iteration is one §5.1 workload iteration (three
+// atomic map operations); items/s therefore equals the paper's
+// "iterations per second" metric.
+
+#include <benchmark/benchmark.h>
+#include <unistd.h>
+
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/random.h"
+#include "workload/map_session.h"
+#include "workload/workload.h"
+
+namespace {
+
+using tsp::workload::C1Key;
+using tsp::workload::C2Key;
+using tsp::workload::HighKey;
+using tsp::workload::MapSession;
+using tsp::workload::MapVariant;
+
+class MapVariantBench : public benchmark::Fixture {
+ public:
+  void SetUp(const benchmark::State& state) override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (refs_++ == 0) {
+      path_ = "/dev/shm/tsp_bench_mapvar_" + std::to_string(getpid()) +
+              ".heap";
+      unlink(path_.c_str());
+      MapSession::Config config;
+      config.variant = static_cast<MapVariant>(state.range(0));
+      config.path = path_;
+      config.heap_size = 1024u << 20;
+      config.runtime_area_size = 64u << 20;
+      auto session = MapSession::OpenOrCreate(config);
+      session_ = std::move(session).value();
+    }
+  }
+
+  void TearDown(const benchmark::State&) override {
+    session_->map()->OnThreadExit();
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (--refs_ == 0) {
+      session_->CloseClean();
+      session_.reset();
+      unlink(path_.c_str());
+    }
+  }
+
+ protected:
+  static std::mutex mutex_;
+  static int refs_;
+  static std::unique_ptr<MapSession> session_;
+  static std::string path_;
+};
+
+std::mutex MapVariantBench::mutex_;
+int MapVariantBench::refs_ = 0;
+std::unique_ptr<MapSession> MapVariantBench::session_;
+std::string MapVariantBench::path_;
+
+BENCHMARK_DEFINE_F(MapVariantBench, WorkloadIteration)
+(benchmark::State& state) {
+  tsp::maps::Map* map = session_->map();
+  const int thread = state.thread_index();
+  tsp::Random rng(0xBE9C + static_cast<std::uint64_t>(thread));
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    ++i;
+    map->Put(C1Key(thread), i);
+    map->IncrementBy(HighKey(rng.Uniform(1 << 20)), 1);
+    map->Put(C2Key(thread), i);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+BENCHMARK_REGISTER_F(MapVariantBench, WorkloadIteration)
+    ->ArgNames({"variant"})
+    ->Arg(static_cast<int>(MapVariant::kMutexNative))
+    ->Arg(static_cast<int>(MapVariant::kMutexLogOnly))
+    ->Arg(static_cast<int>(MapVariant::kMutexLogFlush))
+    ->Arg(static_cast<int>(MapVariant::kLockFreeSkipList))
+    ->Threads(1)
+    ->Threads(4)
+    ->Threads(8)
+    ->UseRealTime();
+
+}  // namespace
+
+BENCHMARK_MAIN();

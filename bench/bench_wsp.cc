@@ -1,0 +1,61 @@
+// E10: Whole System Persistence feasibility sweep (paper §3). For a
+// range of machines, prints the two-stage rescue budget: how long and
+// how much energy stage 1 (cache→DRAM, PSU residual) and stage 2
+// (DRAM→flash, supercapacitors) need, whether the rescue is feasible —
+// i.e., whether power-outage TSP is available at zero runtime cost —
+// and the minimum supercap sizing as DRAM grows.
+
+#include <cstdio>
+
+#include "simnvm/wsp.h"
+
+namespace {
+
+using tsp::simnvm::AssessWsp;
+using tsp::simnvm::MinimumSupercapJoules;
+using tsp::simnvm::WspConfig;
+
+void Print(const char* label, const WspConfig& config) {
+  std::printf("  %-28s %s\n", label, AssessWsp(config).ToString().c_str());
+}
+
+}  // namespace
+
+int main() {
+  std::printf("WSP rescue feasibility (E10)\n\n");
+
+  WspConfig desktop;  // the ENVY Phoenix class of Table 1
+  desktop.cache_bytes = 8.0 * 1024 * 1024;
+  desktop.dram_bytes = 32.0 * 1024 * 1024 * 1024;
+  desktop.supercap_joules = 1200;
+  Print("desktop, 32 GB", desktop);
+
+  WspConfig server;  // the DL580 class of Table 1: 1.5 TB of DRAM
+  server.cache_bytes = 150.0 * 1024 * 1024;
+  server.dram_bytes = 1536.0 * 1024 * 1024 * 1024;
+  server.flash_bandwidth_bytes_per_s = 4e9;
+  server.supercap_joules = 8000;
+  Print("DL580-class, 1.5 TB", server);
+
+  WspConfig nvdimm = server;  // same box with NVDIMMs: stage 2 vanishes
+  nvdimm.dram_bytes = 0;
+  nvdimm.supercap_joules = 0;
+  Print("DL580-class + NVDIMM", nvdimm);
+
+  WspConfig underfunded = desktop;
+  underfunded.supercap_joules = 50;
+  Print("desktop, tiny supercap", underfunded);
+
+  std::printf("\nMinimum supercap energy vs. DRAM size "
+              "(1 GB/s flash, 25 W):\n");
+  for (const double gib : {8.0, 32.0, 128.0, 512.0, 1536.0}) {
+    WspConfig config;
+    config.dram_bytes = gib * 1024 * 1024 * 1024;
+    std::printf("  %7.0f GiB DRAM -> %9.1f J\n", gib,
+                MinimumSupercapJoules(config));
+  }
+  std::printf("\nCache flush (stage 1) stays in the millisecond/joule "
+              "range —\nthe \"minuscule\" cost of §2 — while DRAM "
+              "evacuation scales to kilojoules.\n");
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Quickstart: a persistent heap in a dozen lines.
+//
+// Run it twice:
+//   $ ./quickstart /dev/shm/quickstart.heap     # creates, stores
+//   $ ./quickstart /dev/shm/quickstart.heap     # reopens, remembers
+//
+// Data is manipulated with plain loads and stores; the MAP_SHARED
+// file-backed mapping makes every issued store survive a process crash
+// with zero runtime overhead — Timely Sufficient Persistence in its
+// simplest form. The TSP planner's reasoning for this setup is printed
+// at the end.
+
+#include <cstdio>
+#include <cstring>
+
+#include "core/tsp_planner.h"
+#include "pheap/heap.h"
+
+namespace {
+
+// Persistent objects are ordinary structs. Trivially destructible, and
+// (because this one holds no pointers) no GC trace function is needed.
+struct VisitLog {
+  std::uint64_t visits;
+  char last_message[56];
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* path = argc > 1 ? argv[1] : "/dev/shm/tsp_quickstart.heap";
+
+  // Open the heap, creating a 64 MiB one on first use.
+  tsp::pheap::RegionOptions options;
+  options.size = 64 * 1024 * 1024;
+  auto heap_or = tsp::pheap::PersistentHeap::OpenOrCreate(path, options);
+  if (!heap_or.ok()) {
+    std::fprintf(stderr, "open failed: %s\n",
+                 heap_or.status().ToString().c_str());
+    return 1;
+  }
+  auto heap = std::move(*heap_or);
+
+  if (heap->needs_recovery()) {
+    // A previous run crashed. This demo's root object is updated with
+    // single-word stores only, so it is consistent at every instant —
+    // the §4.1 argument — and recovery is just the heap GC.
+    tsp::pheap::TypeRegistry registry;
+    heap->RunRecoveryGc(registry);
+    heap->FinishRecovery();
+    std::printf("(recovered from a previous crash)\n");
+  }
+
+  // get_root / set_root: all live data must be reachable from the root.
+  auto* log = heap->root<VisitLog>();
+  if (log == nullptr) {
+    log = heap->New<VisitLog>();
+    log->visits = 0;
+    std::strcpy(log->last_message, "first visit");
+    heap->set_root(log);
+    std::printf("created a fresh visit log\n");
+  }
+
+  ++log->visits;  // a plain store to durable memory
+  std::printf("visit #%llu (previous message: \"%s\")\n",
+              static_cast<unsigned long long>(log->visits),
+              log->last_message);
+  std::snprintf(log->last_message, sizeof(log->last_message),
+                "hello from visit %llu",
+                static_cast<unsigned long long>(log->visits));
+
+  // Ask the planner what this configuration relies on.
+  tsp::Requirements requirements;
+  requirements.tolerated =
+      tsp::FailureSet::Of(tsp::FailureClass::kProcessCrash);
+  requirements.needs_rollback = false;
+  const tsp::PersistencePlan plan = tsp::PlanPersistence(
+      requirements, tsp::HardwareProfile::ConventionalServer());
+  std::printf("\nTSP plan for this program:\n%s\n", plan.ToString().c_str());
+
+  heap->CloseClean();
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Copyright 2026 The TSP Authors.
+// Per-thread open-addressing set of store targets, used to log only the
+// *first* store to each location within an outermost critical section
+// (Atlas logs "before allowing a store ... to alter a persistent heap
+// location for the first time in an OCS").
+//
+// Duplicate logging would still be correct (undo records are applied in
+// reverse global order, so the oldest value wins), but first-store
+// filtering is part of the logging cost profile the paper measures.
+
+#ifndef TSP_ATLAS_ADDRESS_SET_H_
+#define TSP_ATLAS_ADDRESS_SET_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace tsp::atlas {
+
+/// Not thread-safe; each AtlasThread owns one. Clearing between OCSes is
+/// O(1) via epoch stamping.
+class AddressSet {
+ public:
+  AddressSet() : slots_(kInitialCapacity) {}
+
+  /// Starts a new OCS: logically empties the set.
+  void NewEpoch() { ++epoch_; size_ = 0; }
+
+  /// Returns true if `key` was absent (and inserts it).
+  bool InsertIfAbsent(std::uint64_t key) {
+    if ((size_ + 1) * 4 >= slots_.size() * 3) Grow();
+    const std::uint64_t mask = slots_.size() - 1;
+    std::uint64_t index = Hash(key) & mask;
+    for (;;) {
+      Slot& slot = slots_[index];
+      if (slot.epoch != epoch_) {  // empty in this epoch
+        slot.key = key;
+        slot.epoch = epoch_;
+        ++size_;
+        return true;
+      }
+      if (slot.key == key) return false;
+      index = (index + 1) & mask;
+    }
+  }
+
+  std::size_t size() const { return size_; }
+  std::size_t capacity() const { return slots_.size(); }
+
+ private:
+  struct Slot {
+    std::uint64_t key = 0;
+    std::uint64_t epoch = 0;  // 0 = never used (epoch_ starts at 1)
+  };
+
+  static constexpr std::size_t kInitialCapacity = 256;
+
+  static std::uint64_t Hash(std::uint64_t key) {
+    // Fibonacci hashing on the address; low bits are alignment zeros.
+    return (key >> 3) * 0x9e3779b97f4a7c15ULL;
+  }
+
+  void Grow() {
+    std::vector<Slot> old = std::move(slots_);
+    slots_.assign(old.size() * 2, Slot{});
+    const std::uint64_t mask = slots_.size() - 1;
+    for (const Slot& slot : old) {
+      if (slot.epoch != epoch_) continue;
+      std::uint64_t index = Hash(slot.key) & mask;
+      while (slots_[index].epoch == epoch_) index = (index + 1) & mask;
+      slots_[index] = slot;
+    }
+  }
+
+  std::vector<Slot> slots_;
+  std::uint64_t epoch_ = 1;
+  std::size_t size_ = 0;
+};
+
+}  // namespace tsp::atlas
+
+#endif  // TSP_ATLAS_ADDRESS_SET_H_

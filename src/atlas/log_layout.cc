@@ -1,0 +1,45 @@
+#include "atlas/log_layout.h"
+
+#include <cstring>
+
+namespace tsp::atlas {
+
+std::uint64_t AtlasArea::Format(void* base, std::size_t size,
+                                std::uint32_t max_threads) {
+  const std::size_t header_bytes = sizeof(AtlasAreaHeader);
+  const std::size_t slots_bytes = sizeof(ThreadLogHeader) * max_threads;
+  // Round the slots offset up to the ThreadLogHeader alignment.
+  const std::size_t slots_offset =
+      (header_bytes + alignof(ThreadLogHeader) - 1) &
+      ~(alignof(ThreadLogHeader) - 1);
+  const std::size_t entries_offset = slots_offset + slots_bytes;
+  if (size <= entries_offset + sizeof(LogEntry) * max_threads) return 0;
+
+  const std::uint64_t entries_per_thread =
+      (size - entries_offset) / (sizeof(LogEntry) * max_threads);
+
+  std::memset(base, 0, entries_offset);
+  auto* header = static_cast<AtlasAreaHeader*>(base);
+  header->magic = kAtlasMagic;
+  header->version = 1;
+  header->max_threads = max_threads;
+  header->entries_per_thread = entries_per_thread;
+  header->slots_offset = slots_offset;
+  header->entries_offset = entries_offset;
+  return entries_per_thread;
+}
+
+bool AtlasArea::Validate(const void* base, std::size_t size) {
+  if (size < sizeof(AtlasAreaHeader)) return false;
+  const auto* header = static_cast<const AtlasAreaHeader*>(base);
+  if (header->magic != kAtlasMagic || header->version != 1) return false;
+  if (header->max_threads == 0 || header->entries_per_thread == 0) {
+    return false;
+  }
+  const std::uint64_t needed =
+      header->entries_offset + header->entries_per_thread *
+                                   header->max_threads * sizeof(LogEntry);
+  return needed <= size;
+}
+
+}  // namespace tsp::atlas

@@ -1,0 +1,163 @@
+// Copyright 2026 The TSP Authors.
+// Persistent layout of the Atlas-style undo-log area.
+//
+// The log lives in the persistent region's runtime area, so log entries
+// written before a crash are recoverable under exactly the same TSP
+// guarantee as application data. Each registered thread owns a ring of
+// fixed-size entries; a global sequence counter (in the RegionHeader)
+// totally orders entries across threads so recovery can apply undo
+// records in reverse global order.
+//
+// Publication protocol (crash safety without flushes, given TSP's
+// strict-prefix-of-stores guarantee): an entry's bytes are fully written
+// *before* the owning ring's tail index is advanced. Recovery trusts
+// only entries below the persisted tail, so a crash mid-append simply
+// drops the torn entry.
+
+#ifndef TSP_ATLAS_LOG_LAYOUT_H_
+#define TSP_ATLAS_LOG_LAYOUT_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace tsp::atlas {
+
+inline constexpr std::uint64_t kAtlasMagic = 0x31474F4C4C54414DULL;
+
+/// Kinds of log entries.
+enum class EntryKind : std::uint8_t {
+  kInvalid = 0,
+  /// Outermost critical section begins; payload = OCS id.
+  kOcsBegin,
+  /// Mutex acquired inside an OCS; aux = lock id, payload = packed
+  /// (thread, ocs) of the previous releaser (0 = none): a dependency
+  /// edge for cascading rollback.
+  kAcquire,
+  /// Mutex released; aux = lock id, payload = current OCS id.
+  kRelease,
+  /// Undo record: addr_offset = region offset of the stored-to word,
+  /// payload = the *old* value (1..8 bytes, in `size`).
+  kStore,
+  /// Outermost critical section committed; payload = OCS id.
+  kOcsCommit,
+  /// Allocation inside an OCS; addr_offset = block payload offset.
+  /// Rollback does not undo allocations — the recovery GC reclaims
+  /// anything the rolled-back OCS never published.
+  kAlloc,
+};
+
+/// Packed (thread id, OCS id) used for dependency edges; 0 = none.
+constexpr std::uint64_t PackThreadOcs(std::uint16_t thread_id,
+                                      std::uint64_t ocs_id) {
+  return (static_cast<std::uint64_t>(thread_id) << 48) |
+         (ocs_id & ((1ULL << 48) - 1));
+}
+constexpr std::uint16_t UnpackThread(std::uint64_t packed) {
+  return static_cast<std::uint16_t>(packed >> 48);
+}
+constexpr std::uint64_t UnpackOcs(std::uint64_t packed) {
+  return packed & ((1ULL << 48) - 1);
+}
+
+/// One undo-log record. 32 bytes; two per cache line.
+struct LogEntry {
+  std::uint64_t seq;         // global stamp (from RegionHeader)
+  std::uint64_t addr_offset; // target region offset (kStore/kAlloc)
+  std::uint64_t payload;     // old value / OCS id / dependency
+  EntryKind kind;
+  std::uint8_t size;         // store width in bytes (kStore only)
+  std::uint16_t thread_id;
+  std::uint32_t aux;         // lock id (kAcquire/kRelease), type (kAlloc)
+};
+
+static_assert(sizeof(LogEntry) == 32);
+
+/// Per-thread ring header. head/tail are monotonically increasing entry
+/// counts; the slot at index i lives at entries[i % capacity].
+struct alignas(64) ThreadLogHeader {
+  /// 0 = free, 1 = claimed by a live thread in the current session.
+  /// Reset by Initialize/recovery; a crashed session leaves slots
+  /// claimed, which is how recovery knows which rings to scan (it scans
+  /// all non-empty rings regardless).
+  std::atomic<std::uint32_t> in_use;
+  std::uint32_t thread_id;
+  /// Oldest retained entry (advanced by trimming at commit time; only
+  /// OCSes whose logs can never be needed again are trimmed).
+  std::atomic<std::uint64_t> head;
+  /// Next append position. Published with release order after the entry
+  /// bytes are written.
+  std::atomic<std::uint64_t> tail;
+  /// Highest OCS id that reached kOcsCommit.
+  std::atomic<std::uint64_t> committed_ocs;
+  /// Highest OCS id that is *stable*: committed and transitively
+  /// dependent only on stable OCSes. Stable OCS logs are trimmed and
+  /// can never be rolled back.
+  std::atomic<std::uint64_t> stable_ocs;
+  /// Next OCS id to hand out (OCS ids are per-thread, starting at 1).
+  std::atomic<std::uint64_t> next_ocs;
+};
+
+static_assert(sizeof(ThreadLogHeader) == 64);
+
+/// Header of the Atlas area, placed at the start of the region's
+/// runtime area.
+struct AtlasAreaHeader {
+  std::uint64_t magic;
+  std::uint32_t version;
+  std::uint32_t max_threads;
+  std::uint64_t entries_per_thread;
+  /// Offset (from the Atlas area base) of the ThreadLogHeader array;
+  /// the entry rings follow it.
+  std::uint64_t slots_offset;
+  std::uint64_t entries_offset;
+};
+
+inline constexpr std::uint32_t kDefaultMaxThreads = 64;
+
+/// Accessors over a formatted Atlas area.
+class AtlasArea {
+ public:
+  /// Formats `size` bytes at `base` for `max_threads` rings and returns
+  /// the entries-per-thread capacity (0 if the area is too small).
+  static std::uint64_t Format(void* base, std::size_t size,
+                              std::uint32_t max_threads);
+
+  /// Attaches to an already formatted area (crash recovery path).
+  /// Returns false if the magic does not match.
+  static bool Validate(const void* base, std::size_t size);
+
+  AtlasArea(void* base, std::size_t size)
+      : base_(static_cast<char*>(base)), size_(size) {}
+
+  AtlasAreaHeader* header() const {
+    return reinterpret_cast<AtlasAreaHeader*>(base_);
+  }
+  std::uint32_t max_threads() const { return header()->max_threads; }
+  std::uint64_t entries_per_thread() const {
+    return header()->entries_per_thread;
+  }
+
+  ThreadLogHeader* slot(std::uint32_t thread_id) const {
+    return reinterpret_cast<ThreadLogHeader*>(base_ +
+                                              header()->slots_offset) +
+           thread_id;
+  }
+
+  /// Entry storage for ring position `index` of thread `thread_id`.
+  LogEntry* entry(std::uint32_t thread_id, std::uint64_t index) const {
+    LogEntry* ring = reinterpret_cast<LogEntry*>(base_ +
+                                                 header()->entries_offset) +
+                     static_cast<std::uint64_t>(thread_id) *
+                         header()->entries_per_thread;
+    return ring + (index % header()->entries_per_thread);
+  }
+
+ private:
+  char* base_;
+  std::size_t size_;
+};
+
+}  // namespace tsp::atlas
+
+#endif  // TSP_ATLAS_LOG_LAYOUT_H_

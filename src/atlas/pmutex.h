@@ -1,0 +1,87 @@
+// Copyright 2026 The TSP Authors.
+// PMutex: a mutex whose critical sections double as Atlas failure-atomic
+// regions.
+//
+// Wraps std::mutex and notifies the Atlas runtime on acquire/release so
+// that outermost-critical-section boundaries, and the release→acquire
+// dependency edges between OCSes, are captured in the undo log. The
+// mutex state itself is volatile (a held mutex is meaningless after a
+// crash: the paper's recovery model rolls interrupted OCSes back instead
+// of resuming them); only the log entries persist.
+//
+// A PMutex constructed with a null runtime degrades to a plain mutex
+// (the "no Atlas" baseline).
+
+#ifndef TSP_ATLAS_PMUTEX_H_
+#define TSP_ATLAS_PMUTEX_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+
+#include "atlas/runtime.h"
+
+namespace tsp::atlas {
+
+class PMutex {
+ public:
+  /// Creates a mutex tied to `runtime` (may be null for an unlogged
+  /// plain mutex).
+  explicit PMutex(AtlasRuntime* runtime = nullptr)
+      : runtime_(runtime),
+        lock_id_(runtime != nullptr ? runtime->AssignLockId() : 0) {}
+
+  PMutex(const PMutex&) = delete;
+  PMutex& operator=(const PMutex&) = delete;
+
+  void lock() {
+    mutex_.lock();
+    if (runtime_ != nullptr && runtime_->policy().logging_enabled()) {
+      runtime_->CurrentThread()->OnAcquire(&last_release_, lock_id_);
+    }
+  }
+
+  bool try_lock() {
+    if (!mutex_.try_lock()) return false;
+    if (runtime_ != nullptr && runtime_->policy().logging_enabled()) {
+      runtime_->CurrentThread()->OnAcquire(&last_release_, lock_id_);
+    }
+    return true;
+  }
+
+  void unlock() {
+    if (runtime_ != nullptr && runtime_->policy().logging_enabled()) {
+      runtime_->CurrentThread()->OnRelease(&last_release_, lock_id_);
+    }
+    mutex_.unlock();
+  }
+
+  AtlasRuntime* runtime() const { return runtime_; }
+  std::uint32_t lock_id() const { return lock_id_; }
+
+ private:
+  std::mutex mutex_;
+  /// Packed (thread, ocs) of the most recent releaser; the dependency
+  /// channel between OCSes. Volatile by design: dependencies matter only
+  /// within a session (the log records them persistently).
+  std::atomic<std::uint64_t> last_release_{0};
+  AtlasRuntime* runtime_;
+  std::uint32_t lock_id_;
+};
+
+/// RAII guard, analogous to std::lock_guard.
+class PMutexLock {
+ public:
+  explicit PMutexLock(PMutex* mutex) : mutex_(mutex) { mutex_->lock(); }
+  ~PMutexLock() { mutex_->unlock(); }
+
+  PMutexLock(const PMutexLock&) = delete;
+  PMutexLock& operator=(const PMutexLock&) = delete;
+
+ private:
+  PMutex* mutex_;
+};
+
+}  // namespace tsp::atlas
+
+#endif  // TSP_ATLAS_PMUTEX_H_

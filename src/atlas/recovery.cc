@@ -1,0 +1,235 @@
+#include "atlas/recovery.h"
+
+#include <algorithm>
+#include <cstring>
+#include <unordered_map>
+#include <vector>
+
+#include "atlas/log_layout.h"
+#include "common/logging.h"
+
+namespace tsp::atlas {
+namespace {
+
+struct UndoRecord {
+  std::uint64_t seq;
+  std::uint64_t addr_offset;
+  std::uint64_t old_value;
+  std::uint8_t size;
+};
+
+struct OcsRecord {
+  std::uint16_t thread = 0;
+  std::uint64_t ocs_id = 0;
+  /// Position of this OCS within its thread's ring scan (program order).
+  std::uint32_t position = 0;
+  bool committed = false;
+  bool rolled_back = false;
+  std::vector<std::uint64_t> deps;  // packed (thread, ocs)
+  std::vector<UndoRecord> undo;
+};
+
+}  // namespace
+
+std::string RecoveryStats::ToString() const {
+  std::string out = "atlas recovery: ";
+  if (!performed) return out + "heap was clean, nothing to do";
+  out += std::to_string(rings_scanned) + " rings, ";
+  out += std::to_string(entries_scanned) + " log entries, ";
+  out += std::to_string(ocses_seen) + " OCSes seen, ";
+  out += std::to_string(ocses_incomplete) + " incomplete, ";
+  out += std::to_string(ocses_cascaded) + " cascaded, ";
+  out += std::to_string(stores_undone) + " stores undone";
+  return out;
+}
+
+StatusOr<RecoveryStats> RecoverAtlas(pheap::PersistentHeap* heap) {
+  RecoveryStats stats;
+  if (!heap->needs_recovery()) {
+    return stats;  // clean shutdown: nothing can need rollback
+  }
+  stats.performed = true;
+
+  void* area_base = heap->runtime_area();
+  const std::size_t area_size = heap->runtime_area_size();
+  if (!AtlasArea::Validate(area_base, area_size)) {
+    // A heap that crashed before the Atlas area was ever formatted (or
+    // that never used Atlas at all, e.g. the non-blocking case study):
+    // the zeroed runtime area fails validation, and there is nothing to
+    // roll back. A partially formatted area is indistinguishable from
+    // garbage, so reject anything with a matching magic but bad shape.
+    const auto* header = static_cast<const AtlasAreaHeader*>(area_base);
+    if (area_size >= sizeof(AtlasAreaHeader) &&
+        header->magic == kAtlasMagic) {
+      return Status::Corruption("Atlas log area header is malformed");
+    }
+    return stats;
+  }
+  AtlasArea area(area_base, area_size);
+
+  // --- scan every ring and reconstruct OCS records ---
+  std::vector<OcsRecord> records;
+  std::unordered_map<std::uint64_t, std::size_t> index;  // packed → idx
+  std::vector<std::uint32_t> thread_positions(area.max_threads(), 0);
+  for (std::uint32_t t = 0; t < area.max_threads(); ++t) {
+    ThreadLogHeader* slot = area.slot(t);
+    const std::uint64_t head = slot->head.load(std::memory_order_relaxed);
+    const std::uint64_t tail = slot->tail.load(std::memory_order_relaxed);
+    if (tail == head) continue;
+    if (tail < head || tail - head > area.entries_per_thread()) {
+      return Status::Corruption("thread log ring indices are inconsistent");
+    }
+    ++stats.rings_scanned;
+
+    // OCS boundaries are reconstructed from acquire/release nesting:
+    // an acquire at depth 0 opens an OCS; the release that returns the
+    // depth to 0 commits it. An OCS still open at the end of the ring
+    // was interrupted by the crash.
+    OcsRecord* open = nullptr;  // OCS currently being parsed
+    int depth = 0;
+    for (std::uint64_t i = head; i < tail; ++i) {
+      const LogEntry* entry = area.entry(t, i);
+      ++stats.entries_scanned;
+      switch (entry->kind) {
+        case EntryKind::kAcquire: {
+          if (depth++ == 0) {
+            OcsRecord record;
+            record.thread = static_cast<std::uint16_t>(t);
+            record.ocs_id = entry->addr_offset;
+            record.position = thread_positions[t]++;
+            index[PackThreadOcs(record.thread, record.ocs_id)] =
+                records.size();
+            records.push_back(std::move(record));
+            open = &records.back();
+            ++stats.ocses_seen;
+          }
+          if (open != nullptr && entry->payload != 0) {
+            open->deps.push_back(entry->payload);
+          }
+          break;
+        }
+        case EntryKind::kRelease:
+          if (depth > 0 && --depth == 0 && open != nullptr) {
+            open->committed = true;
+            open = nullptr;
+          }
+          break;
+        case EntryKind::kStore:
+          if (open != nullptr) {
+            open->undo.push_back(UndoRecord{entry->seq, entry->addr_offset,
+                                            entry->payload, entry->size});
+          }
+          break;
+        case EntryKind::kAlloc:
+          break;  // leaked blocks are the recovery GC's concern
+        case EntryKind::kOcsBegin:
+        case EntryKind::kOcsCommit:
+          break;  // legacy kinds, no longer emitted
+        case EntryKind::kInvalid:
+          return Status::Corruption("invalid log entry kind in ring");
+      }
+      // `records` may reallocate, but only when an OCS opens, which
+      // immediately reassigns `open`; no stale pointer survives.
+    }
+  }
+
+  // --- rollback closure ---
+  // Base set: every OCS that never committed. Cascade along two kinds of
+  // happens-before edges: lock release→acquire dependencies, and
+  // same-thread program order (a thread's later OCSes may have computed
+  // on values its rolled-back earlier OCS produced, so they roll back
+  // too — Atlas's durability order includes program order).
+  std::vector<std::size_t> worklist;
+  std::vector<std::vector<std::size_t>> per_thread(area.max_threads());
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    per_thread[records[i].thread].push_back(i);  // in scan (program) order
+  }
+  auto mark = [&](std::size_t i, bool incomplete) {
+    if (records[i].rolled_back) return;
+    records[i].rolled_back = true;
+    if (incomplete) {
+      ++stats.ocses_incomplete;
+    } else {
+      ++stats.ocses_cascaded;
+    }
+    worklist.push_back(i);
+  };
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    if (!records[i].committed) mark(i, /*incomplete=*/true);
+  }
+  // Reverse edges: dependents of each record.
+  std::unordered_map<std::uint64_t, std::vector<std::size_t>> dependents;
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    for (const std::uint64_t dep : records[i].deps) {
+      dependents[dep].push_back(i);
+    }
+  }
+  while (!worklist.empty()) {
+    const std::size_t current = worklist.back();
+    worklist.pop_back();
+    // Program-order successors on the same thread.
+    for (const std::size_t successor :
+         per_thread[records[current].thread]) {
+      if (records[successor].position > records[current].position) {
+        mark(successor, /*incomplete=*/false);
+      }
+    }
+    // Lock-dependency successors.
+    const std::uint64_t packed =
+        PackThreadOcs(records[current].thread, records[current].ocs_id);
+    const auto it = dependents.find(packed);
+    if (it == dependents.end()) continue;
+    for (const std::size_t dependent : it->second) {
+      mark(dependent, /*incomplete=*/false);
+    }
+  }
+
+  // --- apply undo records in reverse global order ---
+  std::vector<UndoRecord> undo;
+  for (const OcsRecord& record : records) {
+    if (!record.rolled_back) continue;
+    undo.insert(undo.end(), record.undo.begin(), record.undo.end());
+  }
+  std::sort(undo.begin(), undo.end(),
+            [](const UndoRecord& a, const UndoRecord& b) {
+              return a.seq > b.seq;
+            });
+  const pheap::MappedRegion* region = heap->region();
+  for (const UndoRecord& record : undo) {
+    if (record.addr_offset + record.size > region->size() ||
+        record.size > 8) {
+      return Status::Corruption("undo record points outside the region");
+    }
+    std::memcpy(region->FromOffset(record.addr_offset), &record.old_value,
+                record.size);
+    ++stats.stores_undone;
+  }
+
+  // --- reset the log area for the next session ---
+  for (std::uint32_t t = 0; t < area.max_threads(); ++t) {
+    ThreadLogHeader* slot = area.slot(t);
+    slot->in_use.store(0, std::memory_order_relaxed);
+    slot->head.store(0, std::memory_order_relaxed);
+    slot->tail.store(0, std::memory_order_relaxed);
+    std::uint64_t next = slot->next_ocs.load(std::memory_order_relaxed);
+    if (next == 0) {
+      next = 1;
+      slot->next_ocs.store(1, std::memory_order_relaxed);
+    }
+    slot->committed_ocs.store(next - 1, std::memory_order_relaxed);
+    slot->stable_ocs.store(next - 1, std::memory_order_relaxed);
+  }
+
+  return stats;
+}
+
+StatusOr<FullRecoveryResult> RecoverHeap(
+    pheap::PersistentHeap* heap, const pheap::TypeRegistry& registry) {
+  FullRecoveryResult result;
+  TSP_ASSIGN_OR_RETURN(result.atlas, RecoverAtlas(heap));
+  result.gc = heap->RunRecoveryGc(registry);
+  heap->FinishRecovery();
+  return result;
+}
+
+}  // namespace tsp::atlas

@@ -1,0 +1,65 @@
+// Copyright 2026 The TSP Authors.
+// Atlas recovery: restores the persistent heap to a consistent state
+// after a crash by rolling back crash-interrupted outermost critical
+// sections — and, transitively, completed OCSes that observed their
+// data (paper §4.2; the "subtle interactions among OCSes" of Atlas
+// §2.3).
+//
+// Run order after an unclean open:
+//   1. RecoverAtlas(heap)      — undo rollback, resets the log area.
+//   2. heap->RunRecoveryGc(..) — reclaim leaked blocks, rebuild the
+//                                allocator.
+//   3. AtlasRuntime::Initialize + resume.
+
+#ifndef TSP_ATLAS_RECOVERY_H_
+#define TSP_ATLAS_RECOVERY_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "pheap/heap.h"
+
+namespace tsp::atlas {
+
+/// Outcome of a recovery pass.
+struct RecoveryStats {
+  /// False when the heap was clean (nothing to do) — still a success.
+  bool performed = false;
+  std::uint64_t rings_scanned = 0;
+  std::uint64_t entries_scanned = 0;
+  /// OCSes whose logs were still present (committed but unpruned).
+  std::uint64_t ocses_seen = 0;
+  /// OCSes interrupted by the crash (at most one per ring).
+  std::uint64_t ocses_incomplete = 0;
+  /// Completed OCSes rolled back because they transitively depended on
+  /// an incomplete one.
+  std::uint64_t ocses_cascaded = 0;
+  /// Undo records applied (in reverse global-sequence order).
+  std::uint64_t stores_undone = 0;
+
+  std::string ToString() const;
+};
+
+/// Rolls back the undo log of `heap` and resets the log area for the
+/// next session. Requires heap->needs_recovery(); no concurrent
+/// mutators. Returns kCorruption if the log area is unrecognizable.
+/// Does NOT mark recovery finished — run the GC first, then
+/// heap->FinishRecovery() (or use RecoverHeap below).
+StatusOr<RecoveryStats> RecoverAtlas(pheap::PersistentHeap* heap);
+
+/// Combined result of the full recovery pipeline.
+struct FullRecoveryResult {
+  RecoveryStats atlas;
+  pheap::GcStats gc;
+};
+
+/// The complete post-crash pipeline: Atlas rollback, then mark-sweep GC
+/// with `registry`, then FinishRecovery. Safe to call on clean heaps
+/// (the rollback is skipped but the GC still runs, which is harmless).
+StatusOr<FullRecoveryResult> RecoverHeap(pheap::PersistentHeap* heap,
+                                         const pheap::TypeRegistry& registry);
+
+}  // namespace tsp::atlas
+
+#endif  // TSP_ATLAS_RECOVERY_H_

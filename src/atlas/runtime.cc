@@ -1,0 +1,309 @@
+#include "atlas/runtime.h"
+
+#include <chrono>
+
+namespace tsp::atlas {
+namespace {
+
+std::atomic<std::uint64_t> g_next_instance_id{1};
+
+// Thread-local registry: (runtime instance id → AtlasThread*). A thread
+// typically touches one runtime, so this is a tiny vector.
+struct TlsBinding {
+  std::uint64_t instance_id;
+  AtlasThread* thread;
+};
+thread_local std::vector<TlsBinding> tls_bindings;
+
+}  // namespace
+
+AtlasRuntime::AtlasRuntime(pheap::PersistentHeap* heap,
+                           PersistencePolicy policy)
+    : AtlasRuntime(heap, policy, Options()) {}
+
+AtlasRuntime::AtlasRuntime(pheap::PersistentHeap* heap,
+                           PersistencePolicy policy, Options options)
+    : heap_(heap),
+      policy_(policy),
+      options_(options),
+      area_(heap->runtime_area(), heap->runtime_area_size()),
+      instance_id_(g_next_instance_id.fetch_add(1)) {}
+
+AtlasRuntime::~AtlasRuntime() {
+  pruner_stop_.store(true, std::memory_order_release);
+  if (pruner_.joinable()) pruner_.join();
+  // Stale TLS bindings stay behind; they are keyed by instance id and
+  // will never match a future runtime.
+}
+
+Status AtlasRuntime::Initialize() {
+  if (heap_->needs_recovery()) {
+    return Status::FailedPrecondition(
+        "heap needs recovery; run RecoverAtlas before Initialize");
+  }
+  if (!AtlasArea::Validate(heap_->runtime_area(),
+                           heap_->runtime_area_size())) {
+    if (AtlasArea::Format(heap_->runtime_area(), heap_->runtime_area_size(),
+                          kDefaultMaxThreads) == 0) {
+      return Status::InvalidArgument(
+          "runtime area too small for the Atlas log");
+    }
+  }
+  // Clean session start: ring contents are not needed (a clean shutdown
+  // means every OCS committed and nothing can roll back), so reset every
+  // slot's ring while keeping the monotonic OCS counters.
+  for (std::uint32_t t = 0; t < area_.max_threads(); ++t) {
+    ThreadLogHeader* slot = area_.slot(t);
+    slot->in_use.store(0, std::memory_order_relaxed);
+    slot->thread_id = t;
+    slot->head.store(0, std::memory_order_relaxed);
+    slot->tail.store(0, std::memory_order_relaxed);
+    std::uint64_t next = slot->next_ocs.load(std::memory_order_relaxed);
+    if (next == 0) {
+      next = 1;
+      slot->next_ocs.store(1, std::memory_order_relaxed);
+    }
+    slot->committed_ocs.store(next - 1, std::memory_order_relaxed);
+    slot->stable_ocs.store(next - 1, std::memory_order_relaxed);
+  }
+  stability_ = std::make_unique<StabilityManager>(
+      area_, area_.max_threads(), [this](void* p) { heap_->Free(p); });
+  initialized_ = true;
+  if (policy_.logging_enabled() && options_.prune_interval_us > 0) {
+    pruner_ = std::thread([this] { PrunerMain(); });
+  }
+  return Status::OK();
+}
+
+void AtlasRuntime::PrunerMain() {
+  while (!pruner_stop_.load(std::memory_order_acquire)) {
+    stability_->RunPass();
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(options_.prune_interval_us));
+  }
+  stability_->RunPass();  // final sweep
+}
+
+AtlasRuntimeStats AtlasRuntime::GetStats() {
+  AtlasRuntimeStats total;
+  std::lock_guard<std::mutex> lock(registry_mutex_);
+  for (const auto& thread : threads_) {
+    const AtlasRuntimeStats& s = thread->local_stats();
+    total.log_entries_appended += s.log_entries_appended;
+    total.undo_records += s.undo_records;
+    total.dedup_hits += s.dedup_hits;
+    total.ocses_committed += s.ocses_committed;
+    total.fast_path_commits += s.fast_path_commits;
+    total.published_commits += s.published_commits;
+    total.deps_recorded += s.deps_recorded;
+  }
+  total.pending_unstable = stability_ ? stability_->PendingCount() : 0;
+  return total;
+}
+
+AtlasThread* AtlasRuntime::CurrentThread() {
+  for (const TlsBinding& binding : tls_bindings) {
+    if (binding.instance_id == instance_id_) return binding.thread;
+  }
+  TSP_CHECK(initialized_) << "AtlasRuntime::Initialize was not called";
+
+  std::lock_guard<std::mutex> lock(registry_mutex_);
+  for (std::uint32_t t = 0; t < area_.max_threads(); ++t) {
+    ThreadLogHeader* slot = area_.slot(t);
+    std::uint32_t expected = 0;
+    if (slot->in_use.compare_exchange_strong(expected, 1,
+                                             std::memory_order_acq_rel)) {
+      auto thread = std::make_unique<AtlasThread>(
+          this, static_cast<std::uint16_t>(t));
+      AtlasThread* raw = thread.get();
+      threads_.push_back(std::move(thread));
+      tls_bindings.push_back({instance_id_, raw});
+      return raw;
+    }
+  }
+  TSP_LOG(FATAL) << "all " << area_.max_threads()
+                 << " Atlas thread slots are in use";
+  return nullptr;
+}
+
+void AtlasRuntime::UnregisterCurrentThread() {
+  for (auto it = tls_bindings.begin(); it != tls_bindings.end(); ++it) {
+    if (it->instance_id != instance_id_) continue;
+    AtlasThread* thread = it->thread;
+    TSP_CHECK_EQ(thread->nesting_depth(), 0)
+        << "unregistering a thread inside a critical section";
+    area_.slot(thread->thread_id())->in_use.store(0,
+                                                  std::memory_order_release);
+    tls_bindings.erase(it);
+    return;
+  }
+}
+
+AtlasThread::AtlasThread(AtlasRuntime* runtime, std::uint16_t thread_id)
+    : runtime_(runtime),
+      slot_(runtime->area().slot(thread_id)),
+      thread_id_(thread_id) {}
+
+void AtlasThread::LogOldValue(const void* addr, std::uint8_t size) {
+  const std::uint64_t offset = runtime_->heap()->region()->ToOffset(addr);
+  if (!logged_addresses_.InsertIfAbsent(offset)) {
+    ++stats_.dedup_hits;
+    return;
+  }
+  std::uint64_t old_value = 0;
+  std::memcpy(&old_value, addr, size);
+  ++stats_.undo_records;
+  AppendEntry(EntryKind::kStore, size, 0, offset, old_value);
+}
+
+void AtlasThread::StoreBytes(void* dst, const void* src, std::size_t n) {
+  auto* out = static_cast<char*>(dst);
+  const auto* in = static_cast<const char*>(src);
+  while (n > 0) {
+    const std::uint8_t chunk = static_cast<std::uint8_t>(n < 8 ? n : 8);
+    if (depth_ > 0) LogOldValue(out, chunk);
+    std::memcpy(out, in, chunk);
+    out += chunk;
+    in += chunk;
+    n -= chunk;
+  }
+}
+
+void AtlasThread::OnAcquire(std::atomic<std::uint64_t>* lock_word,
+                            std::uint32_t lock_id) {
+  if (depth_++ == 0) {
+    current_ocs_ = slot_->next_ocs.fetch_add(1, std::memory_order_relaxed);
+    logged_addresses_.NewEpoch();
+    current_deps_.clear();
+    current_ocs_begin_tail_ = slot_->tail.load(std::memory_order_relaxed);
+  }
+  const std::uint64_t dep = lock_word->load(std::memory_order_acquire);
+  // Record a dependency edge unless the previous releasing OCS can
+  // never be rolled back (already stable) or is our own (same-thread
+  // program order is an implicit dependency recovery always honors).
+  std::uint64_t recorded_dep = 0;
+  if (dep != 0 && UnpackThread(dep) != thread_id_ &&
+      UnpackOcs(dep) > runtime_->StableOcsOf(UnpackThread(dep))) {
+    recorded_dep = dep;
+    current_deps_.push_back(dep);
+    ++stats_.deps_recorded;
+  }
+  // The acquire entry both opens the OCS (at nesting depth 0) and
+  // carries the dependency edge; recovery reconstructs OCS boundaries
+  // from acquire/release nesting, as Atlas does.
+  AppendEntry(EntryKind::kAcquire, 0, lock_id, current_ocs_, recorded_dep);
+}
+
+void AtlasThread::OnRelease(std::atomic<std::uint64_t>* lock_word,
+                            std::uint32_t lock_id) {
+  TSP_DCHECK_GT(depth_, 0);
+  AppendEntry(EntryKind::kRelease, 0, lock_id, current_ocs_, current_ocs_);
+  // Publish ourselves as the last releaser while still holding the
+  // mutex: the next acquirer depends on this OCS.
+  lock_word->store(PackThreadOcs(thread_id_, current_ocs_),
+                   std::memory_order_release);
+  if (--depth_ == 0) {
+    // The outermost release IS the commit record.
+    ++stats_.ocses_committed;
+    slot_->committed_ocs.store(current_ocs_, std::memory_order_release);
+    if (current_deps_.empty() && current_deferred_frees_.empty() &&
+        slot_->stable_ocs.load(std::memory_order_relaxed) ==
+            current_ocs_ - 1) {
+      // Fast path: no dependencies and every earlier OCS of this thread
+      // is already stable, so this OCS is immediately immune to
+      // rollback — trim its log right away, no pruner involvement. (The
+      // pruner cannot race: our pending queue is provably empty here.)
+      slot_->stable_ocs.store(current_ocs_, std::memory_order_release);
+      slot_->head.store(slot_->tail.load(std::memory_order_relaxed),
+                        std::memory_order_release);
+      ++stats_.fast_path_commits;
+    } else {
+      ++stats_.published_commits;
+      runtime_->stability()->Publish(
+          thread_id_,
+          CommittedOcs{current_ocs_,
+                       slot_->tail.load(std::memory_order_relaxed),
+                       std::move(current_deps_),
+                       std::move(current_deferred_frees_)});
+      current_deps_.clear();
+      current_deferred_frees_.clear();
+    }
+    current_ocs_ = 0;
+  }
+}
+
+void AtlasThread::NoteAlloc(const void* payload, std::uint32_t type_id) {
+  if (depth_ == 0) return;
+  AppendEntry(EntryKind::kAlloc, 0, type_id,
+              runtime_->heap()->region()->ToOffset(payload), current_ocs_);
+}
+
+void AtlasThread::DeferFree(void* payload) {
+  if (depth_ == 0) {
+    runtime_->heap()->Free(payload);
+    return;
+  }
+  current_deferred_frees_.push_back(payload);
+}
+
+void AtlasThread::AppendEntry(EntryKind kind, std::uint8_t size,
+                              std::uint32_t aux, std::uint64_t addr_offset,
+                              std::uint64_t payload) {
+  const std::uint64_t capacity = runtime_->area().entries_per_thread();
+  std::uint64_t tail = slot_->tail.load(std::memory_order_relaxed);
+  if (TSP_PREDICT_FALSE(tail - slot_->head.load(std::memory_order_acquire) >=
+                        capacity)) {
+    HandleRingFull();
+    tail = slot_->tail.load(std::memory_order_relaxed);
+  }
+  ++stats_.log_entries_appended;
+  LogEntry* entry = runtime_->area().entry(thread_id_, tail);
+  entry->addr_offset = addr_offset;
+  entry->payload = payload;
+  entry->kind = kind;
+  entry->size = size;
+  entry->thread_id = thread_id_;
+  entry->aux = aux;
+  // Only undo records participate in the cross-thread reverse-order
+  // replay; control entries skip the shared sequence counter.
+  entry->seq = kind == EntryKind::kStore ? runtime_->NextSeq() : 0;
+  // Publish: recovery only trusts entries below tail, so the entry is
+  // complete before it becomes visible.
+  slot_->tail.store(tail + 1, std::memory_order_release);
+  // Non-TSP mode pays for durability here; undo records must be
+  // durable before the guarded store is allowed to proceed (§4.2).
+  runtime_->policy().PersistLogBytes(entry, sizeof(LogEntry),
+                                     kind == EntryKind::kStore);
+}
+
+void AtlasThread::HandleRingFull() {
+  // The ring can only stay full while old committed OCSes depend on peer
+  // OCSes that have not committed yet. Prune inline and wait for peers;
+  // this is bounded in correct programs (every critical section exits).
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  const std::uint64_t capacity = runtime_->area().entries_per_thread();
+  for (;;) {
+    runtime_->StabilizeNow();
+    const std::uint64_t head = slot_->head.load(std::memory_order_acquire);
+    if (slot_->tail.load(std::memory_order_relaxed) - head < capacity) {
+      return;
+    }
+    if (depth_ > 0 && head >= current_ocs_begin_tail_) {
+      // Everything older is pruned; the ring is full of *this* OCS.
+      TSP_LOG(FATAL)
+          << "Atlas log ring overflow: one OCS wrote more than " << capacity
+          << " log entries; enlarge the heap's runtime area";
+    }
+    if (std::chrono::steady_clock::now() > deadline) {
+      TSP_LOG(FATAL)
+          << "Atlas log ring overflow: a single OCS wrote more than "
+          << capacity
+          << " log entries, or a peer critical section never exits; "
+          << "enlarge the heap's runtime area";
+    }
+    std::this_thread::yield();
+  }
+}
+
+}  // namespace tsp::atlas

@@ -1,0 +1,213 @@
+// Copyright 2026 The TSP Authors.
+// AtlasRuntime: crash resilience for conventional mutex-based
+// multithreaded software over a persistent heap (paper §4.2).
+//
+// Model: shared persistent data may only be modified inside critical
+// sections; each *outermost* critical section (OCS) finds and leaves the
+// heap consistent, so an OCS is a failure-atomic bundle of changes. The
+// runtime undo-logs the first store to each location per OCS; recovery
+// (recovery.h) rolls back OCSes interrupted by a crash, plus any
+// completed OCSes that transitively observed their data. A background
+// pruner (stability.h) trims logs of OCSes that can never be rolled
+// back, mirroring Atlas's asynchronous log pruning.
+//
+// The TSP knob is the PersistencePolicy:
+//   * PersistencePolicy::TspLogOnly() — log entries are NOT flushed;
+//     correct whenever a TSP rescue guarantees recovery reads the most
+//     recent state of persistent memory (always true for process
+//     crashes on file-backed mappings).
+//   * PersistencePolicy::SyncFlush() — each entry is synchronously
+//     flushed + fenced before the guarded store proceeds; required when
+//     TSP is not available.
+
+#ifndef TSP_ATLAS_RUNTIME_H_
+#define TSP_ATLAS_RUNTIME_H_
+
+#include <atomic>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+#include "atlas/address_set.h"
+#include "atlas/log_layout.h"
+#include "atlas/stability.h"
+#include "common/logging.h"
+#include "common/status.h"
+#include "core/persistence_policy.h"
+#include "pheap/heap.h"
+
+namespace tsp::atlas {
+
+class AtlasRuntime;
+
+/// Aggregated runtime counters (see AtlasRuntime::GetStats). Collected
+/// per thread without synchronization and summed on demand, so reads
+/// are approximate under concurrency.
+struct AtlasRuntimeStats {
+  std::uint64_t log_entries_appended = 0;
+  std::uint64_t undo_records = 0;
+  std::uint64_t dedup_hits = 0;  // stores filtered by first-store-per-OCS
+  std::uint64_t ocses_committed = 0;
+  std::uint64_t fast_path_commits = 0;  // trimmed inline at commit
+  std::uint64_t published_commits = 0;  // handed to the pruner
+  std::uint64_t deps_recorded = 0;
+  std::uint64_t pending_unstable = 0;  // current pruner backlog
+};
+
+/// Per-thread logging context. Obtain via AtlasRuntime::CurrentThread();
+/// owned by the runtime.
+class AtlasThread {
+ public:
+  AtlasThread(AtlasRuntime* runtime, std::uint16_t thread_id);
+
+  AtlasThread(const AtlasThread&) = delete;
+  AtlasThread& operator=(const AtlasThread&) = delete;
+
+  /// Logged store of a trivially copyable value of at most 8 bytes.
+  /// Inside an OCS the old value is undo-logged (first store per
+  /// location per OCS); outside, it is a plain store (Atlas treats
+  /// stores outside critical sections as immediately consistent).
+  template <typename T>
+  void Store(T* addr, T value) {
+    static_assert(std::is_trivially_copyable_v<T> && sizeof(T) <= 8,
+                  "Store handles word-sized values; use StoreBytes");
+    if (depth_ > 0) LogOldValue(addr, sizeof(T));
+    *addr = value;
+  }
+
+  /// Logged equivalent of memcpy into the persistent heap (splits the
+  /// undo record into word-sized entries).
+  void StoreBytes(void* dst, const void* src, std::size_t n);
+
+  /// Mutex hooks (called by PMutex with its mutex held).
+  void OnAcquire(std::atomic<std::uint64_t>* lock_word, std::uint32_t lock_id);
+  void OnRelease(std::atomic<std::uint64_t>* lock_word, std::uint32_t lock_id);
+
+  /// Records an allocation made inside the current OCS (diagnostics;
+  /// reclamation is the recovery GC's job either way).
+  void NoteAlloc(const void* payload, std::uint32_t type_id);
+
+  /// Frees `payload` once the current OCS can never be rolled back
+  /// (i.e., when it stabilizes). Freeing inside an OCS directly would
+  /// corrupt the heap if the OCS were later rolled back and the freed
+  /// data resurrected. Outside an OCS, frees immediately.
+  void DeferFree(void* payload);
+
+  bool in_ocs() const { return depth_ > 0; }
+  int nesting_depth() const { return depth_; }
+  std::uint16_t thread_id() const { return thread_id_; }
+  std::uint64_t current_ocs() const { return current_ocs_; }
+  const AtlasRuntimeStats& local_stats() const { return stats_; }
+
+ private:
+  void LogOldValue(const void* addr, std::uint8_t size);
+  void AppendEntry(EntryKind kind, std::uint8_t size, std::uint32_t aux,
+                   std::uint64_t addr_offset, std::uint64_t payload);
+  void HandleRingFull();
+
+  AtlasRuntime* runtime_;
+  ThreadLogHeader* slot_;
+  std::uint16_t thread_id_;
+  int depth_ = 0;
+  std::uint64_t current_ocs_ = 0;
+  /// Ring index of the current OCS's kOcsBegin entry; when the ring head
+  /// catches up to it while full, the OCS alone overflows the ring.
+  std::uint64_t current_ocs_begin_tail_ = 0;
+  AddressSet logged_addresses_;
+  std::vector<std::uint64_t> current_deps_;
+  std::vector<void*> current_deferred_frees_;
+  AtlasRuntimeStats stats_;
+};
+
+/// One runtime per persistent heap. Construct after recovery (if the
+/// heap needs it — see atlas/recovery.h), call Initialize once, then
+/// hand CurrentThread() to worker threads (or just use PMutex and
+/// Store, which do so internally).
+class AtlasRuntime {
+ public:
+  struct Options {
+    /// Interval between background log-pruning passes. 0 disables the
+    /// pruner thread (threads then prune inline only when a ring fills).
+    std::uint32_t prune_interval_us = 200;
+  };
+
+  AtlasRuntime(pheap::PersistentHeap* heap, PersistencePolicy policy);
+  AtlasRuntime(pheap::PersistentHeap* heap, PersistencePolicy policy,
+               Options options);
+  ~AtlasRuntime();
+
+  AtlasRuntime(const AtlasRuntime&) = delete;
+  AtlasRuntime& operator=(const AtlasRuntime&) = delete;
+
+  /// Formats the heap's runtime area (fresh heaps) or attaches to and
+  /// resets it (clean reopen). Fails with kFailedPrecondition if the
+  /// heap still needs recovery — run RecoverAtlas first.
+  Status Initialize();
+
+  /// Returns the calling thread's logging context, registering the
+  /// thread on first use. Fatal if all thread slots are taken.
+  AtlasThread* CurrentThread();
+
+  /// Releases the calling thread's slot (requires no open OCS). Safe to
+  /// call from threads that never registered.
+  void UnregisterCurrentThread();
+
+  /// Runs one synchronous log-pruning pass (also done periodically by
+  /// the background pruner). Returns OCSes stabilized.
+  std::size_t StabilizeNow() { return stability_->RunPass(); }
+
+  /// Sums all threads' counters (approximate under concurrency).
+  AtlasRuntimeStats GetStats();
+
+  pheap::PersistentHeap* heap() const { return heap_; }
+  const PersistencePolicy& policy() const { return policy_; }
+  const AtlasArea& area() const { return area_; }
+  StabilityManager* stability() const { return stability_.get(); }
+  bool initialized() const { return initialized_; }
+
+  /// Stamps the next global sequence number (persistent counter).
+  std::uint64_t NextSeq() {
+    return heap_->region()->header()->global_sequence.fetch_add(
+        1, std::memory_order_relaxed);
+  }
+
+  /// Hands out process-unique lock ids for diagnostics.
+  std::uint32_t AssignLockId() {
+    return next_lock_id_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Stable-OCS frontier of a peer thread (deps on stable OCSes need not
+  /// be recorded).
+  std::uint64_t StableOcsOf(std::uint16_t thread_id) const {
+    return area_.slot(thread_id)->stable_ocs.load(std::memory_order_acquire);
+  }
+
+  /// Unique instance id (guards thread-local caches against pointer
+  /// reuse after a runtime is destroyed).
+  std::uint64_t instance_id() const { return instance_id_; }
+
+ private:
+  void PrunerMain();
+
+  pheap::PersistentHeap* heap_;
+  PersistencePolicy policy_;
+  Options options_;
+  AtlasArea area_;
+  bool initialized_ = false;
+  std::uint64_t instance_id_;
+  std::atomic<std::uint32_t> next_lock_id_{1};
+
+  std::unique_ptr<StabilityManager> stability_;
+  std::atomic<bool> pruner_stop_{false};
+  std::thread pruner_;
+
+  std::mutex registry_mutex_;
+  std::vector<std::unique_ptr<AtlasThread>> threads_;
+};
+
+}  // namespace tsp::atlas
+
+#endif  // TSP_ATLAS_RUNTIME_H_

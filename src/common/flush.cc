@@ -1,0 +1,91 @@
+#include "common/flush.h"
+
+#include <cpuid.h>
+
+namespace tsp {
+namespace {
+
+struct CpuFeatures {
+  bool clflush = false;
+  bool clflushopt = false;
+  bool clwb = false;
+};
+
+CpuFeatures DetectCpuFeatures() {
+  CpuFeatures f;
+  unsigned int eax = 0, ebx = 0, ecx = 0, edx = 0;
+  if (__get_cpuid(1, &eax, &ebx, &ecx, &edx)) {
+    f.clflush = (edx & (1u << 19)) != 0;
+  }
+  if (__get_cpuid_count(7, 0, &eax, &ebx, &ecx, &edx)) {
+    f.clflushopt = (ebx & (1u << 23)) != 0;
+    f.clwb = (ebx & (1u << 24)) != 0;
+  }
+  return f;
+}
+
+const CpuFeatures& Features() {
+  static const CpuFeatures features = DetectCpuFeatures();
+  return features;
+}
+
+}  // namespace
+
+bool CpuSupports(FlushInstruction insn) {
+  switch (insn) {
+    case FlushInstruction::kNone:
+      return true;
+    case FlushInstruction::kClflush:
+      return Features().clflush;
+    case FlushInstruction::kClflushopt:
+      return Features().clflushopt;
+    case FlushInstruction::kClwb:
+      return Features().clwb;
+  }
+  return false;
+}
+
+FlushInstruction BestFlushInstruction() {
+  if (Features().clwb) return FlushInstruction::kClwb;
+  if (Features().clflushopt) return FlushInstruction::kClflushopt;
+  return FlushInstruction::kClflush;
+}
+
+const char* FlushInstructionName(FlushInstruction insn) {
+  switch (insn) {
+    case FlushInstruction::kNone:
+      return "none";
+    case FlushInstruction::kClflush:
+      return "clflush";
+    case FlushInstruction::kClflushopt:
+      return "clflushopt";
+    case FlushInstruction::kClwb:
+      return "clwb";
+  }
+  return "unknown";
+}
+
+FlushStats& GlobalFlushStats() {
+  static FlushStats stats;
+  return stats;
+}
+
+void FlushRange(const void* p, std::size_t n, FlushInstruction insn) {
+  if (insn == FlushInstruction::kNone || n == 0) return;
+  auto addr = reinterpret_cast<std::uintptr_t>(p);
+  const std::uintptr_t first = addr & ~(kCacheLineSize - 1);
+  const std::uintptr_t last = (addr + n - 1) & ~(kCacheLineSize - 1);
+  for (std::uintptr_t line = first; line <= last; line += kCacheLineSize) {
+    FlushLine(reinterpret_cast<const void*>(line), insn);
+  }
+  // clflush is strongly ordered with respect to other clflushes and
+  // stores to the same line, but we still fence so that callers get the
+  // same "durable when this returns" contract for every instruction.
+  StoreFence();
+}
+
+void FlushRange(const void* p, std::size_t n) {
+  FlushRange(p, n, BestFlushInstruction());
+}
+
+}  // namespace tsp

@@ -1,0 +1,57 @@
+#include "common/logging.h"
+
+#include <unistd.h>
+
+#include <cstdio>
+
+namespace tsp {
+
+LogSeverity& MinLogSeverity() {
+  static LogSeverity severity = LogSeverity::kWarning;
+  return severity;
+}
+
+namespace internal {
+namespace {
+
+const char* SeverityLetter(LogSeverity s) {
+  switch (s) {
+    case LogSeverity::kInfo:
+      return "I";
+    case LogSeverity::kWarning:
+      return "W";
+    case LogSeverity::kError:
+      return "E";
+    case LogSeverity::kFatal:
+      return "F";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogMessage::LogMessage(const char* file, int line, LogSeverity severity)
+    : severity_(severity) {
+  const char* basename = file;
+  for (const char* p = file; *p != '\0'; ++p) {
+    if (*p == '/') basename = p + 1;
+  }
+  stream_ << "[" << SeverityLetter(severity) << " " << basename << ":" << line
+          << " pid=" << getpid() << "] ";
+}
+
+LogMessage::~LogMessage() {
+  if (severity_ >= MinLogSeverity() || severity_ == LogSeverity::kFatal) {
+    stream_ << "\n";
+    const std::string text = stream_.str();
+    // One write call so concurrent log lines do not interleave mid-line.
+    std::fwrite(text.data(), 1, text.size(), stderr);
+    std::fflush(stderr);
+  }
+  if (severity_ == LogSeverity::kFatal) {
+    std::abort();
+  }
+}
+
+}  // namespace internal
+}  // namespace tsp

@@ -1,0 +1,109 @@
+// Copyright 2026 The TSP Authors.
+// Minimal logging and assertion macros (LOG, CHECK, DCHECK) in the
+// spirit of glog, sufficient for a self-contained library.
+
+#ifndef TSP_COMMON_LOGGING_H_
+#define TSP_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace tsp {
+
+enum class LogSeverity { kInfo = 0, kWarning = 1, kError = 2, kFatal = 3 };
+
+/// Minimum severity that is actually emitted; default WARNING so library
+/// code is quiet in tests and benchmarks. Not thread-safe to mutate while
+/// logging concurrently; set it at startup.
+LogSeverity& MinLogSeverity();
+
+namespace internal {
+
+/// Stream-style log message; emits (and aborts for FATAL) on destruction.
+class LogMessage {
+ public:
+  LogMessage(const char* file, int line, LogSeverity severity);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+  LogSeverity severity_;
+};
+
+/// Swallows streamed values when a log statement is compiled out.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal
+}  // namespace tsp
+
+#define TSP_LOG_INFO \
+  ::tsp::internal::LogMessage(__FILE__, __LINE__, ::tsp::LogSeverity::kInfo)
+#define TSP_LOG_WARNING                           \
+  ::tsp::internal::LogMessage(__FILE__, __LINE__, \
+                              ::tsp::LogSeverity::kWarning)
+#define TSP_LOG_ERROR \
+  ::tsp::internal::LogMessage(__FILE__, __LINE__, ::tsp::LogSeverity::kError)
+#define TSP_LOG_FATAL \
+  ::tsp::internal::LogMessage(__FILE__, __LINE__, ::tsp::LogSeverity::kFatal)
+
+#define TSP_LOG(severity) TSP_LOG_##severity.stream()
+
+/// Aborts with a message when `cond` is false. Always on, in every build
+/// type: persistence invariants are too important to elide.
+#define TSP_CHECK(cond)                                          \
+  if (__builtin_expect(!(cond), 0))                              \
+  TSP_LOG(FATAL) << "Check failed: " #cond " "
+
+#define TSP_CHECK_OP(op, a, b)                                            \
+  if (__builtin_expect(!((a)op(b)), 0))                                   \
+  TSP_LOG(FATAL) << "Check failed: " #a " " #op " " #b " (" << (a) << " " \
+                 << #op << " " << (b) << ") "
+
+#define TSP_CHECK_EQ(a, b) TSP_CHECK_OP(==, a, b)
+#define TSP_CHECK_NE(a, b) TSP_CHECK_OP(!=, a, b)
+#define TSP_CHECK_LT(a, b) TSP_CHECK_OP(<, a, b)
+#define TSP_CHECK_LE(a, b) TSP_CHECK_OP(<=, a, b)
+#define TSP_CHECK_GT(a, b) TSP_CHECK_OP(>, a, b)
+#define TSP_CHECK_GE(a, b) TSP_CHECK_OP(>=, a, b)
+
+/// Aborts when `status_expr` is not OK.
+#define TSP_CHECK_OK(status_expr)                                        \
+  do {                                                                   \
+    const ::tsp::Status _tsp_check_status = (status_expr);               \
+    if (__builtin_expect(!_tsp_check_status.ok(), 0))                    \
+      TSP_LOG(FATAL) << "Status not OK: " << _tsp_check_status.ToString(); \
+  } while (false)
+
+#ifdef NDEBUG
+#define TSP_DCHECK(cond) \
+  if (false) ::tsp::internal::NullStream()
+#define TSP_DCHECK_EQ(a, b) TSP_DCHECK((a) == (b))
+#define TSP_DCHECK_NE(a, b) TSP_DCHECK((a) != (b))
+#define TSP_DCHECK_LT(a, b) TSP_DCHECK((a) < (b))
+#define TSP_DCHECK_LE(a, b) TSP_DCHECK((a) <= (b))
+#define TSP_DCHECK_GT(a, b) TSP_DCHECK((a) > (b))
+#define TSP_DCHECK_GE(a, b) TSP_DCHECK((a) >= (b))
+#else
+#define TSP_DCHECK(cond) TSP_CHECK(cond)
+#define TSP_DCHECK_EQ(a, b) TSP_CHECK_EQ(a, b)
+#define TSP_DCHECK_NE(a, b) TSP_CHECK_NE(a, b)
+#define TSP_DCHECK_LT(a, b) TSP_CHECK_LT(a, b)
+#define TSP_DCHECK_LE(a, b) TSP_CHECK_LE(a, b)
+#define TSP_DCHECK_GT(a, b) TSP_CHECK_GT(a, b)
+#define TSP_DCHECK_GE(a, b) TSP_CHECK_GE(a, b)
+#endif
+
+#endif  // TSP_COMMON_LOGGING_H_

@@ -1,0 +1,23 @@
+// Copyright 2026 The TSP Authors.
+// Project-wide helper macros and constants.
+
+#ifndef TSP_COMMON_MACROS_H_
+#define TSP_COMMON_MACROS_H_
+
+#include <cstddef>
+
+namespace tsp {
+
+/// Size in bytes of a CPU cache line on every platform we target.
+inline constexpr std::size_t kCacheLineSize = 64;
+
+}  // namespace tsp
+
+/// Branch-prediction hints. Use sparingly, on measured hot paths only.
+#define TSP_PREDICT_TRUE(x) (__builtin_expect(!!(x), 1))
+#define TSP_PREDICT_FALSE(x) (__builtin_expect(!!(x), 0))
+
+/// Forces inlining of small hot functions (flush primitives, log appends).
+#define TSP_ALWAYS_INLINE inline __attribute__((always_inline))
+
+#endif  // TSP_COMMON_MACROS_H_

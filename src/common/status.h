@@ -1,0 +1,150 @@
+// Copyright 2026 The TSP Authors.
+// Lightweight error-handling types in the style of absl::Status /
+// arrow::Result. The library does not use exceptions (Google style);
+// fallible operations return Status or StatusOr<T>.
+
+#ifndef TSP_COMMON_STATUS_H_
+#define TSP_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace tsp {
+
+/// Canonical error codes, a subset of the absl canonical space that the
+/// persistence stack actually needs.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kFailedPrecondition,
+  kOutOfRange,
+  kResourceExhausted,
+  kIoError,
+  kCorruption,
+  kInternal,
+  kUnimplemented,
+};
+
+/// Returns a stable human-readable name for `code` ("OK", "CORRUPTION", ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// Value-type result of a fallible operation. Cheap to copy when OK
+/// (no allocation in the OK path).
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Renders as "CODE: message" (or "OK").
+  std::string ToString() const;
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// Either a value of type T or an error Status. Dereference only after
+/// checking ok().
+template <typename T>
+class StatusOr {
+ public:
+  /// Implicit from value and from Status, mirroring absl::StatusOr, so
+  /// `return value;` and `return Status::...;` both work.
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "StatusOr constructed from OK status");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return *std::move(value_);
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace tsp
+
+/// Propagates a non-OK Status to the caller.
+#define TSP_RETURN_IF_ERROR(expr)            \
+  do {                                       \
+    ::tsp::Status _tsp_status = (expr);      \
+    if (!_tsp_status.ok()) return _tsp_status; \
+  } while (false)
+
+#define TSP_STATUS_CONCAT_IMPL(x, y) x##y
+#define TSP_STATUS_CONCAT(x, y) TSP_STATUS_CONCAT_IMPL(x, y)
+
+/// Evaluates `rexpr` (a StatusOr<T>); on error propagates the Status,
+/// otherwise move-assigns the value into `lhs`.
+#define TSP_ASSIGN_OR_RETURN(lhs, rexpr)                                  \
+  TSP_ASSIGN_OR_RETURN_IMPL(TSP_STATUS_CONCAT(_tsp_sor_, __LINE__), lhs,  \
+                            rexpr)
+
+#define TSP_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                              \
+  if (!tmp.ok()) return tmp.status();              \
+  lhs = std::move(tmp).value()
+
+#endif  // TSP_COMMON_STATUS_H_

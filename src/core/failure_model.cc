@@ -1,0 +1,139 @@
+#include "core/failure_model.h"
+
+namespace tsp {
+
+std::string FailureSet::ToString() const {
+  if (empty()) return "{}";
+  std::string out = "{";
+  bool first = true;
+  auto add = [&](FailureClass c, const char* name) {
+    if (!Contains(c)) return;
+    if (!first) out += ", ";
+    out += name;
+    first = false;
+  };
+  add(FailureClass::kProcessCrash, "process-crash");
+  add(FailureClass::kKernelPanic, "kernel-panic");
+  add(FailureClass::kPowerOutage, "power-outage");
+  out += "}";
+  return out;
+}
+
+const char* LocationName(Location location) {
+  switch (location) {
+    case Location::kCpuRegisters:
+      return "cpu-registers";
+    case Location::kCpuCache:
+      return "cpu-cache";
+    case Location::kPrivateDram:
+      return "private-dram";
+    case Location::kKernelDram:
+      return "kernel-dram";
+    case Location::kNvm:
+      return "nvm";
+    case Location::kBlockStorage:
+      return "block-storage";
+  }
+  return "unknown";
+}
+
+namespace {
+
+// Survival of the freshest copy of a datum at `location` under a single
+// failure class, given hardware support. kCpuCache means "dirty cache
+// line over memory that itself outlives the process" (a shared
+// file-backed mapping or NVM); private-DRAM-backed lines are the
+// kPrivateDram case.
+bool SurvivesOne(Location location, FailureClass failure,
+                 const HardwareProfile& hw) {
+  // Memory contents (DRAM) survive a kernel panic if RAM is preserved
+  // across the reboot, or if the panic handler evacuates them first.
+  const bool memory_survives_panic = hw.nonvolatile_memory ||
+                                     hw.memory_preserved_across_reboot ||
+                                     hw.panic_handler_writes_storage;
+  const bool memory_survives_power =
+      hw.nonvolatile_memory || hw.standby_energy_rescue;
+
+  switch (location) {
+    case Location::kCpuRegisters:
+      // Registers of crashed/halted threads are gone, except under a
+      // WSP-style whole-state rescue for power outages.
+      return failure == FailureClass::kPowerOutage && hw.standby_energy_rescue;
+    case Location::kCpuCache:
+      switch (failure) {
+        case FailureClass::kProcessCrash:
+          // POSIX MAP_SHARED semantics (Appendix A): dirty lines over a
+          // kernel-persistent page stay visible; no flush required.
+          return true;
+        case FailureClass::kKernelPanic:
+          return hw.panic_handler_flushes_caches && memory_survives_panic;
+        case FailureClass::kPowerOutage:
+          // NVM alone does not save *cached* data; only a residual-energy
+          // rescue (flush caches while the PSU drains) does.
+          return hw.standby_energy_rescue;
+      }
+      return false;
+    case Location::kPrivateDram:
+      switch (failure) {
+        case FailureClass::kProcessCrash:
+          // The OS reclaims private pages; nothing can rescue them, and
+          // resuming the crashed process is not a remedy for software
+          // bugs (paper §4.1 on WSP).
+          return false;
+        case FailureClass::kKernelPanic:
+          return memory_survives_panic;
+        case FailureClass::kPowerOutage:
+          return memory_survives_power;
+      }
+      return false;
+    case Location::kKernelDram:
+      switch (failure) {
+        case FailureClass::kProcessCrash:
+          return true;  // "kernel persistence"
+        case FailureClass::kKernelPanic:
+          return memory_survives_panic;
+        case FailureClass::kPowerOutage:
+          return memory_survives_power;
+      }
+      return false;
+    case Location::kNvm:
+    case Location::kBlockStorage:
+      return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool IsSafe(Location location, FailureSet failures,
+            const HardwareProfile& hw) {
+  for (FailureClass c : {FailureClass::kProcessCrash,
+                         FailureClass::kKernelPanic,
+                         FailureClass::kPowerOutage}) {
+    if (failures.Contains(c) && !SurvivesOne(location, c, hw)) return false;
+  }
+  return true;
+}
+
+HardwareProfile HardwareProfile::ConventionalServer() { return {}; }
+
+HardwareProfile HardwareProfile::NvdimmServer() {
+  HardwareProfile hw;
+  hw.nonvolatile_memory = true;
+  hw.panic_handler_flushes_caches = true;
+  return hw;
+}
+
+HardwareProfile HardwareProfile::NvramMachine() {
+  HardwareProfile hw;
+  hw.nonvolatile_memory = true;
+  return hw;
+}
+
+HardwareProfile HardwareProfile::WspMachine() {
+  HardwareProfile hw;
+  hw.standby_energy_rescue = true;
+  return hw;
+}
+
+}  // namespace tsp

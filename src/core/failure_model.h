@@ -1,0 +1,123 @@
+// Copyright 2026 The TSP Authors.
+// Vocabulary of the TSP framework (paper §3): tolerated failure classes,
+// data locations ordered by safety, and hardware/system capabilities.
+//
+// "Fault-tolerance strategies typically move data from places where
+// tolerated failures threaten corruption or destruction to places beyond
+// the reach of tolerated failures; we respectively refer to such
+// locations as vulnerable and safe."
+
+#ifndef TSP_CORE_FAILURE_MODEL_H_
+#define TSP_CORE_FAILURE_MODEL_H_
+
+#include <cstdint>
+#include <string>
+
+namespace tsp {
+
+/// The failure classes the paper restricts itself to (single machine).
+enum class FailureClass : std::uint8_t {
+  /// A process is abruptly terminated (SIGKILL, segfault, illegal
+  /// instruction). The OS and machine keep running.
+  kProcessCrash = 0,
+  /// The OS kernel panics; the machine reboots. Whether memory contents
+  /// survive depends on hardware and on panic-handler support.
+  kKernelPanic = 1,
+  /// Utility power is lost. Volatile state survives only as far as
+  /// residual/standby energy can move it.
+  kPowerOutage = 2,
+};
+
+/// Bit-set of tolerated failure classes.
+class FailureSet {
+ public:
+  constexpr FailureSet() = default;
+
+  static constexpr FailureSet Of(FailureClass c) {
+    return FailureSet(std::uint8_t{1} << static_cast<std::uint8_t>(c));
+  }
+  static constexpr FailureSet All() { return FailureSet(0b111); }
+  static constexpr FailureSet None() { return FailureSet(0); }
+
+  constexpr bool Contains(FailureClass c) const {
+    return (bits_ & (std::uint8_t{1} << static_cast<std::uint8_t>(c))) != 0;
+  }
+  constexpr FailureSet Union(FailureSet other) const {
+    return FailureSet(static_cast<std::uint8_t>(bits_ | other.bits_));
+  }
+  constexpr bool empty() const { return bits_ == 0; }
+  constexpr bool operator==(const FailureSet&) const = default;
+
+  std::string ToString() const;
+
+ private:
+  constexpr explicit FailureSet(std::uint8_t bits) : bits_(bits) {}
+  std::uint8_t bits_ = 0;
+};
+
+constexpr FailureSet operator|(FailureClass a, FailureClass b) {
+  return FailureSet::Of(a).Union(FailureSet::Of(b));
+}
+constexpr FailureSet operator|(FailureSet a, FailureClass b) {
+  return a.Union(FailureSet::Of(b));
+}
+
+/// Where a datum lives, ordered roughly from most to least vulnerable.
+/// Safety is *relative to a failure set*: volatile DRAM in the page cache
+/// is safe with respect to process crashes but not power outages.
+enum class Location : std::uint8_t {
+  /// CPU registers and store buffers of a running thread.
+  kCpuRegisters,
+  /// Volatile CPU cache lines (dirty, not yet written back).
+  kCpuCache,
+  /// Anonymous (process-private) volatile DRAM, reclaimed at process exit.
+  kPrivateDram,
+  /// Volatile DRAM pages belonging to a kernel object that outlives the
+  /// process (POSIX "kernel persistence": page-cache pages of a shared
+  /// file-backed mapping, /dev/shm files).
+  kKernelDram,
+  /// Byte-addressable non-volatile memory (NVRAM or NVDIMM).
+  kNvm,
+  /// Block storage (disk/SSD) reachable via write-back of a backing file.
+  kBlockStorage,
+};
+
+const char* LocationName(Location location);
+
+/// Returns true if data at `location` survives every failure in
+/// `failures` on hardware described by `hw` without any failure-time
+/// action. (TSP designs may still make *more* vulnerable locations
+/// effectively safe by adding a failure-time rescue; see TspPlanner.)
+struct HardwareProfile;
+bool IsSafe(Location location, FailureSet failures, const HardwareProfile& hw);
+
+/// What the machine and system software offer. Defaults model a plain
+/// Linux box with volatile DRAM and a disk.
+struct HardwareProfile {
+  /// Main memory is inherently non-volatile (NVRAM) or battery/supercap
+  /// backed (NVDIMM): DRAM contents survive power loss.
+  bool nonvolatile_memory = false;
+  /// Memory contents survive a warm reboot after a kernel panic
+  /// (Rio-style, or simply "reboot does not clear RAM").
+  bool memory_preserved_across_reboot = false;
+  /// The kernel's panic handler flushes CPU caches to memory before
+  /// halting (the paper mentions an HP Linux patch doing exactly this).
+  bool panic_handler_flushes_caches = false;
+  /// The kernel's panic handler additionally writes persistent-heap
+  /// pages to stable storage before the machine goes down.
+  bool panic_handler_writes_storage = false;
+  /// Standby energy (UPS / PSU residual + supercapacitors) suffices to
+  /// flush caches and evacuate critical DRAM contents on power loss
+  /// (Whole System Persistence-style rescue).
+  bool standby_energy_rescue = false;
+
+  /// Named presets used throughout tests and benchmarks.
+  static HardwareProfile ConventionalServer();  // volatile DRAM + disk
+  static HardwareProfile NvdimmServer();        // NVDIMM + flush-on-panic
+  static HardwareProfile NvramMachine();        // NVRAM, cache still volatile
+  static HardwareProfile WspMachine();          // WSP-style standby energy
+};
+
+}  // namespace tsp
+
+#endif  // TSP_CORE_FAILURE_MODEL_H_

@@ -1,0 +1,93 @@
+// Copyright 2026 The TSP Authors.
+// Runtime persistence policies: what a fault-tolerance mechanism does on
+// its store path during failure-free operation.
+//
+// A *non-TSP* design synchronously flushes undo-log entries (and fences)
+// before the guarded store may proceed. A *TSP* design does nothing at
+// run time and relies on a guaranteed failure-time rescue (file-backed
+// mapping semantics for process crashes, panic-handler cache flush for
+// kernel panics, residual-energy evacuation for power outages).
+
+#ifndef TSP_CORE_PERSISTENCE_POLICY_H_
+#define TSP_CORE_PERSISTENCE_POLICY_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/flush.h"
+#include "common/macros.h"
+
+namespace tsp {
+
+/// How the Atlas-like runtime persists undo-log entries.
+enum class PersistenceMode : std::uint8_t {
+  /// No logging at all: the native, non-resilient baseline
+  /// ("no Atlas" column of Table 1).
+  kNone = 0,
+  /// Undo logging only; log entries are *not* synchronously flushed.
+  /// Correct when TSP is available ("log only" column of Table 1).
+  kLogOnly = 1,
+  /// Undo logging plus a synchronous cache-line flush + fence per log
+  /// entry. Required when TSP is not available
+  /// ("log + flush" column of Table 1).
+  kLogAndFlush = 2,
+};
+
+const char* PersistenceModeName(PersistenceMode mode);
+
+/// Per-runtime persistence policy: mode plus the flush instruction used
+/// in kLogAndFlush mode. Trivially copyable; consulted on the hot path.
+class PersistencePolicy {
+ public:
+  constexpr PersistencePolicy() = default;
+  constexpr PersistencePolicy(PersistenceMode mode, FlushInstruction insn)
+      : mode_(mode), insn_(insn) {}
+
+  /// TSP policy: log, never flush.
+  static constexpr PersistencePolicy TspLogOnly() {
+    return {PersistenceMode::kLogOnly, FlushInstruction::kNone};
+  }
+  /// Non-TSP policy: log and synchronously flush each entry.
+  static PersistencePolicy SyncFlush() {
+    return {PersistenceMode::kLogAndFlush, BestFlushInstruction()};
+  }
+  static PersistencePolicy SyncFlush(FlushInstruction insn) {
+    return {PersistenceMode::kLogAndFlush, insn};
+  }
+  /// No resilience mechanism at all.
+  static constexpr PersistencePolicy Unprotected() {
+    return {PersistenceMode::kNone, FlushInstruction::kNone};
+  }
+
+  constexpr PersistenceMode mode() const { return mode_; }
+  constexpr FlushInstruction flush_instruction() const { return insn_; }
+  constexpr bool logging_enabled() const {
+    return mode_ != PersistenceMode::kNone;
+  }
+
+  /// Called by the runtime after writing `n` bytes of log entry at `p`.
+  /// In kLogAndFlush mode the entry's lines are written back; when
+  /// `ordered` is true (undo records, which must be durable *before*
+  /// their guarded store executes — paper §4.2) a store fence makes the
+  /// write-back synchronous. Control entries ride on later fences.
+  TSP_ALWAYS_INLINE void PersistLogBytes(const void* p, std::size_t n,
+                                         bool ordered) const {
+    if (TSP_PREDICT_TRUE(mode_ != PersistenceMode::kLogAndFlush)) return;
+    auto addr = reinterpret_cast<std::uintptr_t>(p);
+    const std::uintptr_t first = addr & ~(kCacheLineSize - 1);
+    const std::uintptr_t last = (addr + n - 1) & ~(kCacheLineSize - 1);
+    for (std::uintptr_t line = first; line <= last;
+         line += kCacheLineSize) {
+      FlushLine(reinterpret_cast<const void*>(line), insn_);
+    }
+    if (ordered) StoreFence();
+  }
+
+ private:
+  PersistenceMode mode_ = PersistenceMode::kNone;
+  FlushInstruction insn_ = FlushInstruction::kNone;
+};
+
+}  // namespace tsp
+
+#endif  // TSP_CORE_PERSISTENCE_POLICY_H_

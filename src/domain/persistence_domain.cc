@@ -1,0 +1,54 @@
+#include "domain/persistence_domain.h"
+
+namespace tsp::domain {
+
+StatusOr<std::unique_ptr<PersistenceDomain>> PersistenceDomain::Open(
+    const Options& options, const pheap::TypeRegistry* registry) {
+  if (registry == nullptr) {
+    return Status::InvalidArgument("a type registry is required");
+  }
+  auto domain = std::unique_ptr<PersistenceDomain>(new PersistenceDomain());
+  domain->registry_ = registry;
+  domain->plan_ = PlanPersistence(options.requirements, options.hardware);
+  if (!domain->plan_.feasible) {
+    return Status::FailedPrecondition(
+        "no persistence plan satisfies the requirements on this hardware");
+  }
+
+  TSP_ASSIGN_OR_RETURN(domain->heap_, pheap::PersistentHeap::OpenOrCreate(
+                                          options.path, options.region));
+
+  if (domain->heap_->needs_recovery()) {
+    TSP_ASSIGN_OR_RETURN(
+        domain->recovery_,
+        atlas::RecoverHeap(domain->heap_.get(), *registry));
+    domain->recovered_ = true;
+  }
+
+  if (domain->plan_.atlas_mode != PersistenceMode::kNone) {
+    const PersistencePolicy policy =
+        domain->plan_.atlas_mode == PersistenceMode::kLogOnly
+            ? PersistencePolicy::TspLogOnly()
+            : PersistencePolicy::SyncFlush();
+    domain->runtime_ = std::make_unique<atlas::AtlasRuntime>(
+        domain->heap_.get(), policy);
+    TSP_RETURN_IF_ERROR(domain->runtime_->Initialize());
+  }
+  return domain;
+}
+
+Status PersistenceDomain::Commit() {
+  if (plan_.runtime_action == RuntimeAction::kSyncMsync) {
+    return heap_->SyncToBacking();
+  }
+  return Status::OK();  // TSP or per-entry flushing: nothing to do here
+}
+
+void PersistenceDomain::CloseClean() {
+  runtime_.reset();
+  if (heap_ != nullptr) heap_->CloseClean();
+}
+
+PersistenceDomain::~PersistenceDomain() = default;
+
+}  // namespace tsp::domain

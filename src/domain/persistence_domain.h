@@ -1,0 +1,84 @@
+// Copyright 2026 The TSP Authors.
+// PersistenceDomain: the library's one-call integration point.
+//
+// Give it fault-tolerance requirements and a hardware profile; it runs
+// the §3 planning exercise (core/tsp_planner.h), opens the persistent
+// heap, performs crash recovery if needed, attaches an Atlas runtime in
+// exactly the mode the plan prescribes (none / log-only / log+flush),
+// and exposes the commit-point hook for non-TSP plans that must msync.
+//
+// In other words: applications state *what failures they must survive*;
+// the domain decides how much (or, with TSP, how little) to pay for it.
+
+#ifndef TSP_DOMAIN_PERSISTENCE_DOMAIN_H_
+#define TSP_DOMAIN_PERSISTENCE_DOMAIN_H_
+
+#include <memory>
+#include <string>
+
+#include "atlas/recovery.h"
+#include "atlas/runtime.h"
+#include "common/status.h"
+#include "core/failure_model.h"
+#include "core/tsp_planner.h"
+#include "pheap/heap.h"
+#include "pheap/type_registry.h"
+
+namespace tsp::domain {
+
+class PersistenceDomain {
+ public:
+  struct Options {
+    std::string path;
+    Requirements requirements;
+    HardwareProfile hardware = HardwareProfile::ConventionalServer();
+    pheap::RegionOptions region;
+  };
+
+  /// Opens (creating if absent) the domain. `registry` supplies the GC
+  /// trace functions for recovery; keep it alive for the domain's
+  /// lifetime. Recovery (Atlas rollback + GC) runs automatically when
+  /// the previous session crashed.
+  static StatusOr<std::unique_ptr<PersistenceDomain>> Open(
+      const Options& options, const pheap::TypeRegistry* registry);
+
+  ~PersistenceDomain();
+
+  PersistenceDomain(const PersistenceDomain&) = delete;
+  PersistenceDomain& operator=(const PersistenceDomain&) = delete;
+
+  pheap::PersistentHeap* heap() { return heap_.get(); }
+
+  /// The Atlas runtime, or nullptr when the plan needs no rollback
+  /// machinery (non-blocking applications).
+  atlas::AtlasRuntime* runtime() { return runtime_.get(); }
+
+  /// The plan chosen for this domain (inspect plan().is_tsp etc.).
+  const PersistencePlan& plan() const { return plan_; }
+
+  /// True if this open performed crash recovery.
+  bool recovered() const { return recovered_; }
+  const atlas::FullRecoveryResult& recovery() const { return recovery_; }
+
+  /// Commit point: performs the plan's runtime durability action.
+  /// A no-op for TSP plans; msync(MS_SYNC) for kSyncMsync plans (cache
+  /// flushing plans pay per log entry instead, inside the runtime).
+  Status Commit();
+
+  /// Marks an orderly shutdown.
+  void CloseClean();
+
+ private:
+  PersistenceDomain() = default;
+
+  PersistencePlan plan_;
+  std::unique_ptr<pheap::PersistentHeap> heap_;
+  std::unique_ptr<atlas::AtlasRuntime> runtime_;
+  const pheap::TypeRegistry* registry_ = nullptr;
+  bool recovered_ = false;
+  atlas::FullRecoveryResult recovery_;
+};
+
+}  // namespace tsp::domain
+
+#endif  // TSP_DOMAIN_PERSISTENCE_DOMAIN_H_

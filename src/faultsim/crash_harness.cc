@@ -1,0 +1,135 @@
+#include "faultsim/crash_harness.h"
+
+#include <signal.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "common/logging.h"
+#include "common/random.h"
+
+namespace tsp::faultsim {
+namespace {
+
+// Entry point of the forked worker: open the heap (recovering if the
+// previous cycle crashed it), then hammer the map until killed.
+[[noreturn]] void WorkerMain(const CrashCycleOptions& options) {
+  auto session = workload::MapSession::OpenOrCreate(options.session);
+  if (!session.ok()) {
+    TSP_LOG(ERROR) << "worker failed to open session: "
+                   << session.status().ToString();
+    _exit(2);
+  }
+  std::atomic<bool> stop{false};  // never set: we run until SIGKILL
+  workload::RunMapWorkload((*session)->map(), options.workload, &stop);
+  _exit(3);  // unreachable unless the workload somehow finishes
+}
+
+}  // namespace
+
+std::string CrashCycleReport::ToString() const {
+  std::string out = "crash cycles: " + std::to_string(cycles_run);
+  out += all_ok ? " ALL RECOVERIES CONSISTENT" : " FAILURES DETECTED";
+  out += "\n  recoveries with rollback: " +
+         std::to_string(recoveries_with_rollback);
+  out += "\n  OCSes rolled back:        " +
+         std::to_string(total_ocses_rolled_back);
+  out += "\n  undo records applied:     " +
+         std::to_string(total_stores_undone);
+  out += "\n  GC bytes reclaimed:       " +
+         std::to_string(total_gc_reclaimed_bytes);
+  out += "\n  completed iterations:     " +
+         std::to_string(final_completed_iterations);
+  for (const std::string& error : errors) {
+    out += "\n  ERROR: " + error;
+  }
+  return out;
+}
+
+CrashCycleReport RunCrashCycles(const CrashCycleOptions& options) {
+  CrashCycleReport report;
+  Random rng(options.seed);
+
+  for (int cycle = 0; cycle < options.cycles; ++cycle) {
+    const pid_t pid = fork();
+    if (pid < 0) {
+      report.errors.push_back("fork failed");
+      break;
+    }
+    if (pid == 0) {
+      WorkerMain(options);  // never returns
+    }
+
+    const int window = options.max_run_ms - options.min_run_ms + 1;
+    const int run_ms =
+        options.min_run_ms + static_cast<int>(rng.Uniform(window));
+    std::this_thread::sleep_for(std::chrono::milliseconds(run_ms));
+
+    // The uncatchable kill: every thread of the worker halts at once.
+    kill(pid, SIGKILL);
+    int status = 0;
+    waitpid(pid, &status, 0);
+    ++report.cycles_run;
+    if (WIFEXITED(status)) {
+      // The worker exited before the kill (e.g., setup failure).
+      report.errors.push_back("cycle " + std::to_string(cycle) +
+                              ": worker exited with status " +
+                              std::to_string(WEXITSTATUS(status)) +
+                              " instead of being killed");
+      continue;
+    }
+
+    // Recover in-process and verify.
+    auto session = workload::MapSession::OpenOrCreate(options.session);
+    if (!session.ok()) {
+      report.errors.push_back("cycle " + std::to_string(cycle) +
+                              ": recovery open failed: " +
+                              session.status().ToString());
+      continue;
+    }
+    if (!(*session)->recovered()) {
+      report.errors.push_back("cycle " + std::to_string(cycle) +
+                              ": heap unexpectedly clean after SIGKILL");
+    }
+    const atlas::RecoveryStats& rec = (*session)->recovery_stats();
+    if (rec.ocses_incomplete + rec.ocses_cascaded > 0) {
+      ++report.recoveries_with_rollback;
+    }
+    report.total_stores_undone += rec.stores_undone;
+    report.total_ocses_rolled_back +=
+        rec.ocses_incomplete + rec.ocses_cascaded;
+    report.total_gc_reclaimed_bytes +=
+        (*session)->gc_stats().free_bytes +
+        (*session)->gc_stats().tail_reclaimed_bytes;
+
+    const workload::InvariantReport invariants =
+        workload::CheckMapInvariants(*(*session)->map(),
+                                     options.workload.threads);
+    if (!invariants.ok) {
+      report.errors.push_back("cycle " + std::to_string(cycle) + ": " +
+                              invariants.ToString());
+    } else {
+      report.final_completed_iterations += invariants.completed_iterations;
+    }
+    if (options.verbose) {
+      TSP_LOG(WARNING) << "cycle " << cycle << " [" << run_ms << "ms] "
+                       << workload::MapVariantName(options.session.variant) << ": "
+                       << invariants.ToString() << "; "
+                       << rec.ToString();
+    }
+    (*session)->CloseClean();
+    session->reset();
+    if (options.reset_between_cycles) {
+      unlink(options.session.path.c_str());
+    }
+  }
+
+  report.all_ok = report.errors.empty() && report.cycles_run == options.cycles;
+  return report;
+}
+
+}  // namespace tsp::faultsim

@@ -1,0 +1,125 @@
+#include "lockfree/epoch.h"
+
+namespace tsp::lockfree {
+namespace {
+
+std::atomic<std::uint64_t> g_next_instance_id{1};
+
+struct TlsBinding {
+  std::uint64_t instance_id;
+  void* slot;
+};
+thread_local std::vector<TlsBinding> tls_slots;
+
+}  // namespace
+
+EpochManager::EpochManager(std::function<void(void*)> deleter)
+    : deleter_(std::move(deleter)),
+      instance_id_(g_next_instance_id.fetch_add(1)) {}
+
+EpochManager::~EpochManager() {
+  for (Slot& slot : slots_) {
+    for (auto& bucket : slot.limbo) {
+      for (void* p : bucket) deleter_(p);
+      bucket.clear();
+    }
+  }
+}
+
+EpochManager::Slot* EpochManager::MySlot() {
+  for (const TlsBinding& binding : tls_slots) {
+    if (binding.instance_id == instance_id_) {
+      return static_cast<Slot*>(binding.slot);
+    }
+  }
+  for (Slot& slot : slots_) {
+    std::uint32_t expected = 0;
+    if (slot.claimed.compare_exchange_strong(expected, 1,
+                                             std::memory_order_acq_rel)) {
+      tls_slots.push_back({instance_id_, &slot});
+      return &slot;
+    }
+  }
+  TSP_LOG(FATAL) << "all " << kMaxThreads << " epoch slots are in use; "
+                 << "did worker threads forget UnregisterCurrentThread?";
+  return nullptr;
+}
+
+void EpochManager::UnregisterCurrentThread() {
+  for (auto it = tls_slots.begin(); it != tls_slots.end(); ++it) {
+    if (it->instance_id != instance_id_) continue;
+    auto* slot = static_cast<Slot*>(it->slot);
+    TSP_CHECK_EQ(slot->state.load(std::memory_order_relaxed), 0u)
+        << "unregistering inside an epoch guard";
+    // Hand the slot's limbo to slot 0's owner? No: keep it; the pointers
+    // will be freed on TryAdvance by whichever thread reuses the slot,
+    // or at manager destruction.
+    slot->claimed.store(0, std::memory_order_release);
+    tls_slots.erase(it);
+    return;
+  }
+}
+
+void EpochManager::Enter() {
+  Slot* slot = MySlot();
+  // Announce-and-revalidate: after the (seq_cst) announcement becomes
+  // visible, re-read the global epoch; if it moved, re-announce. Once
+  // announcement == global, the epoch can advance at most once more
+  // while this thread stays active — the lag-one invariant that makes
+  // a three-bucket limbo safe.
+  std::uint64_t epoch = global_epoch_.load(std::memory_order_acquire);
+  for (;;) {
+    slot->state.store((epoch << 1) | 1, std::memory_order_seq_cst);
+    const std::uint64_t now = global_epoch_.load(std::memory_order_seq_cst);
+    if (now == epoch) return;
+    epoch = now;
+  }
+}
+
+void EpochManager::Exit() {
+  MySlot()->state.store(0, std::memory_order_release);
+}
+
+void EpochManager::Retire(void* p) {
+  Slot* slot = MySlot();
+  const std::uint64_t epoch = global_epoch_.load(std::memory_order_acquire);
+  const std::size_t bucket = epoch % 3;
+  if (slot->limbo_epoch[bucket] != epoch) {
+    // The bucket holds retirements from epoch-3 or older: every thread
+    // has long moved past them.
+    DrainBucket(slot, bucket);
+    slot->limbo_epoch[bucket] = epoch;
+  }
+  slot->limbo[bucket].push_back(p);
+  if (++slot->retire_count % 64 == 0) TryAdvance();
+}
+
+void EpochManager::DrainBucket(Slot* slot, std::size_t bucket) {
+  for (void* p : slot->limbo[bucket]) deleter_(p);
+  slot->limbo[bucket].clear();
+}
+
+void EpochManager::TryAdvance() {
+  const std::uint64_t epoch = global_epoch_.load(std::memory_order_seq_cst);
+  for (const Slot& slot : slots_) {
+    // seq_cst so this scan is ordered after announcements in Enter's
+    // seq_cst store (see the lag-one invariant there).
+    const std::uint64_t state = slot.state.load(std::memory_order_seq_cst);
+    if ((state & 1) != 0 && (state >> 1) != epoch) {
+      return;  // a thread is still active in an older epoch
+    }
+  }
+  std::uint64_t expected = epoch;
+  global_epoch_.compare_exchange_strong(expected, epoch + 1,
+                                        std::memory_order_acq_rel);
+}
+
+std::size_t EpochManager::LimboCount() const {
+  std::size_t total = 0;
+  for (const Slot& slot : slots_) {
+    for (const auto& bucket : slot.limbo) total += bucket.size();
+  }
+  return total;
+}
+
+}  // namespace tsp::lockfree

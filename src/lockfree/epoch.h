@@ -1,0 +1,102 @@
+// Copyright 2026 The TSP Authors.
+// Epoch-based memory reclamation for non-blocking data structures.
+//
+// Readers/writers enter an epoch-protected region (Guard) before
+// touching nodes; physically unlinked nodes are Retire()d and freed only
+// after every registered thread has moved past the retirement epoch, so
+// no thread can hold a reference to freed memory.
+//
+// Crash interaction (the §4.1 story): retirement bookkeeping is
+// volatile. If the process crashes, limbo nodes are simply leaked in the
+// persistent heap — they are unreachable from the root, so the
+// recovery-time GC reclaims them. Nothing here needs logging or
+// flushing.
+
+#ifndef TSP_LOCKFREE_EPOCH_H_
+#define TSP_LOCKFREE_EPOCH_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/macros.h"
+
+namespace tsp::lockfree {
+
+/// One manager per data structure (or shared). Threads register
+/// implicitly on first Guard/Retire and must call
+/// UnregisterCurrentThread before exiting (slots are finite).
+class EpochManager {
+ public:
+  static constexpr std::uint32_t kMaxThreads = 64;
+
+  /// `deleter` frees a retired pointer (e.g. heap->Free).
+  explicit EpochManager(std::function<void(void*)> deleter);
+
+  /// Frees everything still in limbo. All threads must be quiesced.
+  ~EpochManager();
+
+  EpochManager(const EpochManager&) = delete;
+  EpochManager& operator=(const EpochManager&) = delete;
+
+  /// RAII critical-region marker. Nodes observed while a Guard is alive
+  /// remain valid until the Guard is destroyed.
+  class Guard {
+   public:
+    explicit Guard(EpochManager* manager) : manager_(manager) {
+      manager_->Enter();
+    }
+    ~Guard() { manager_->Exit(); }
+    Guard(const Guard&) = delete;
+    Guard& operator=(const Guard&) = delete;
+
+   private:
+    EpochManager* manager_;
+  };
+
+  /// Hands `p` to the reclamation machinery; it is freed once no thread
+  /// can still hold a reference. May be called inside a Guard.
+  void Retire(void* p);
+
+  /// Releases the calling thread's slot (outside any Guard).
+  void UnregisterCurrentThread();
+
+  /// Current global epoch (for tests).
+  std::uint64_t global_epoch() const {
+    return global_epoch_.load(std::memory_order_acquire);
+  }
+
+  /// Nodes waiting for reclamation (for tests; approximate).
+  std::size_t LimboCount() const;
+
+  std::uint64_t instance_id() const { return instance_id_; }
+
+ private:
+  struct alignas(kCacheLineSize) Slot {
+    /// 0 = not in a critical region; otherwise (epoch << 1) | 1.
+    std::atomic<std::uint64_t> state{0};
+    std::atomic<std::uint32_t> claimed{0};
+    /// Retired pointers, bucketed by epoch % 3.
+    std::array<std::vector<void*>, 3> limbo;
+    std::array<std::uint64_t, 3> limbo_epoch{0, 0, 0};
+    std::uint32_t retire_count = 0;
+  };
+
+  void Enter();
+  void Exit();
+  Slot* MySlot();
+  void TryAdvance();
+  void DrainBucket(Slot* slot, std::size_t bucket);
+
+  std::function<void(void*)> deleter_;
+  std::atomic<std::uint64_t> global_epoch_{3};
+  std::uint64_t instance_id_;
+  std::vector<Slot> slots_{kMaxThreads};
+};
+
+}  // namespace tsp::lockfree
+
+#endif  // TSP_LOCKFREE_EPOCH_H_

@@ -1,0 +1,45 @@
+// Copyright 2026 The TSP Authors.
+// Map-interface adapter over the non-blocking skip list (paper §5.1's
+// second implementation). Zero persistence overhead: no logging, no
+// flushing — TSP plus non-blocking updates make every instant of the
+// heap a consistent recovery point (§4.1).
+
+#ifndef TSP_MAPS_SKIPLIST_ADAPTER_H_
+#define TSP_MAPS_SKIPLIST_ADAPTER_H_
+
+#include "lockfree/skiplist.h"
+#include "maps/map_interface.h"
+
+namespace tsp::maps {
+
+class SkipListMapAdapter final : public Map {
+ public:
+  /// Wraps an attached SkipListMap (not owned).
+  explicit SkipListMapAdapter(lockfree::SkipListMap* map) : map_(map) {}
+
+  void Put(std::uint64_t key, std::uint64_t value) override {
+    map_->Put(key, value);
+  }
+  std::optional<std::uint64_t> Get(std::uint64_t key) const override {
+    return map_->Get(key);
+  }
+  std::uint64_t IncrementBy(std::uint64_t key, std::uint64_t delta) override {
+    return map_->IncrementBy(key, delta);
+  }
+  bool Remove(std::uint64_t key) override { return map_->Remove(key); }
+  void ForEach(const std::function<void(std::uint64_t, std::uint64_t)>& fn)
+      const override {
+    map_->ForEach(fn);
+  }
+  const char* name() const override { return "lockfree-skiplist"; }
+  void OnThreadExit() override {
+    map_->epoch()->UnregisterCurrentThread();
+  }
+
+ private:
+  lockfree::SkipListMap* map_;
+};
+
+}  // namespace tsp::maps
+
+#endif  // TSP_MAPS_SKIPLIST_ADAPTER_H_

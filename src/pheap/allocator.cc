@@ -1,0 +1,168 @@
+#include "pheap/allocator.h"
+
+#include "common/logging.h"
+
+namespace tsp::pheap {
+namespace {
+
+// Block sizes (header included). Fine-grained ~1.5x spacing up to 64 KiB,
+// power-of-two beyond. Exactly Allocator::kNumSizeClasses entries.
+constexpr std::size_t kClassBlockSizes[] = {
+    32,        48,        64,        96,        128,      192,      256,
+    384,       512,       768,       1024,      1536,     2048,     3072,
+    4096,      6144,      8192,      12288,     16384,    24576,    32768,
+    49152,     65536,     131072,    262144,    524288,   1048576,  2097152,
+    4194304,   8388608,   16777216,  33554432,  67108864, 134217728,
+    268435456,
+};
+static_assert(sizeof(kClassBlockSizes) / sizeof(kClassBlockSizes[0]) ==
+              Allocator::kNumSizeClasses);
+static_assert(Allocator::kNumSizeClasses <= kMaxSizeClasses);
+
+}  // namespace
+
+std::size_t Allocator::MaxPayloadSize() {
+  return kClassBlockSizes[kNumSizeClasses - 1] - sizeof(BlockHeader);
+}
+
+Allocator::Allocator(MappedRegion* region)
+    : region_(region), header_(region->header()) {}
+
+std::size_t Allocator::BlockSizeForPayload(std::size_t payload_size) {
+  const std::size_t needed = payload_size + sizeof(BlockHeader);
+  for (std::size_t block_size : kClassBlockSizes) {
+    if (block_size >= needed) return block_size;
+  }
+  return 0;
+}
+
+int Allocator::SizeClassOf(std::size_t block_size) {
+  // Binary search over the sorted class table.
+  int lo = 0, hi = kNumSizeClasses - 1;
+  while (lo <= hi) {
+    const int mid = (lo + hi) / 2;
+    if (kClassBlockSizes[mid] == block_size) return mid;
+    if (kClassBlockSizes[mid] < block_size) {
+      lo = mid + 1;
+    } else {
+      hi = mid - 1;
+    }
+  }
+  return -1;
+}
+
+std::size_t Allocator::ClassBlockSize(int index) {
+  TSP_DCHECK_GE(index, 0);
+  TSP_DCHECK_LT(static_cast<std::size_t>(index), kNumSizeClasses);
+  return kClassBlockSizes[index];
+}
+
+void* Allocator::Alloc(std::size_t payload_size, std::uint32_t type_id) {
+  const std::size_t block_size = BlockSizeForPayload(payload_size);
+  if (block_size == 0) return nullptr;
+  const int size_class = SizeClassOf(block_size);
+  TSP_DCHECK_GE(size_class, 0);
+
+  std::uint64_t offset = PopFromList(size_class);
+  if (offset == 0) {
+    // Bump allocation. A crash between fetch_add and header
+    // initialization leaks the reserved bytes; the recovery GC reclaims
+    // them because nothing reachable covers the gap.
+    const std::uint64_t arena_end =
+        header_->arena_offset + header_->arena_size;
+    offset = header_->bump_offset.fetch_add(block_size,
+                                            std::memory_order_relaxed);
+    if (offset + block_size > arena_end) {
+      // Exhausted. Give the (unusable, partially out-of-range) reserved
+      // bytes back by capping the published bump at arena_end so stats
+      // stay sane; concurrent racers may also have overshot, which is
+      // benign — the arena is simply full.
+      return nullptr;
+    }
+  }
+
+  auto* block = static_cast<BlockHeader*>(region_->FromOffset(offset));
+  block->magic = BlockHeader::kAllocatedMagic;
+  block->type_id = type_id;
+  block->block_size = block_size;
+  header_->total_allocs.fetch_add(1, std::memory_order_relaxed);
+  return block + 1;
+}
+
+void Allocator::Free(void* payload) {
+  TSP_CHECK(payload != nullptr);
+  TSP_CHECK(region_->Contains(payload));
+  BlockHeader* block = HeaderOf(payload);
+  TSP_CHECK_EQ(block->magic, BlockHeader::kAllocatedMagic)
+      << "Free of unallocated or corrupt block";
+  const int size_class = SizeClassOf(block->block_size);
+  TSP_CHECK_GE(size_class, 0) << "corrupt block size";
+  block->magic = BlockHeader::kFreeMagic;
+  header_->total_frees.fetch_add(1, std::memory_order_relaxed);
+  PushToList(size_class, region_->ToOffset(block));
+}
+
+void Allocator::PushToList(int size_class, std::uint64_t block_offset) {
+  auto* payload = static_cast<FreeBlockPayload*>(
+      region_->FromOffset(block_offset + sizeof(BlockHeader)));
+  std::atomic<TaggedOffset>& head = header_->free_lists[size_class];
+  TaggedOffset old_head = head.load(std::memory_order_acquire);
+  for (;;) {
+    payload->next_offset = OffsetOf(old_head);
+    const TaggedOffset new_head =
+        MakeTagged(TagOf(old_head) + 1, block_offset);
+    if (head.compare_exchange_weak(old_head, new_head,
+                                   std::memory_order_release,
+                                   std::memory_order_acquire)) {
+      return;
+    }
+  }
+}
+
+std::uint64_t Allocator::PopFromList(int size_class) {
+  std::atomic<TaggedOffset>& head = header_->free_lists[size_class];
+  TaggedOffset old_head = head.load(std::memory_order_acquire);
+  for (;;) {
+    const std::uint64_t offset = OffsetOf(old_head);
+    if (offset == 0) return 0;
+    const auto* payload = static_cast<const FreeBlockPayload*>(
+        region_->FromOffset(offset + sizeof(BlockHeader)));
+    const std::uint64_t next = payload->next_offset;
+    const TaggedOffset new_head = MakeTagged(TagOf(old_head) + 1, next);
+    if (head.compare_exchange_weak(old_head, new_head,
+                                   std::memory_order_acquire,
+                                   std::memory_order_acquire)) {
+      return offset;
+    }
+  }
+}
+
+AllocatorStats Allocator::GetStats() const {
+  AllocatorStats stats;
+  stats.total_allocs = header_->total_allocs.load(std::memory_order_relaxed);
+  stats.total_frees = header_->total_frees.load(std::memory_order_relaxed);
+  stats.bump_offset = header_->bump_offset.load(std::memory_order_relaxed);
+  stats.arena_end = header_->arena_offset + header_->arena_size;
+  return stats;
+}
+
+void Allocator::ResetMetadata(std::uint64_t bump_offset) {
+  TSP_CHECK_GE(bump_offset, header_->arena_offset);
+  TSP_CHECK_LE(bump_offset, header_->arena_offset + header_->arena_size);
+  for (auto& head : header_->free_lists) {
+    head.store(0, std::memory_order_relaxed);
+  }
+  header_->bump_offset.store(bump_offset, std::memory_order_relaxed);
+}
+
+void Allocator::PushFreeBlock(std::uint64_t offset, std::size_t block_size) {
+  const int size_class = SizeClassOf(block_size);
+  TSP_CHECK_GE(size_class, 0);
+  auto* block = static_cast<BlockHeader*>(region_->FromOffset(offset));
+  block->magic = BlockHeader::kFreeMagic;
+  block->type_id = 0;
+  block->block_size = block_size;
+  PushToList(size_class, offset);
+}
+
+}  // namespace tsp::pheap

@@ -1,0 +1,105 @@
+// Copyright 2026 The TSP Authors.
+// Lock-free size-class allocator over a persistent region's arena.
+//
+// Design for crash tolerance: allocator metadata (bump pointer and
+// free-list heads in the RegionHeader, free-list links threaded through
+// free blocks) is *advisory*. During failure-free operation it is exact;
+// after a crash it may be arbitrarily stale or torn, and recovery
+// discards it entirely — the mark-sweep GC (gc.h) recomputes the live
+// set from the heap root and rebuilds the free lists. This mirrors the
+// Atlas recovery-time garbage collector and means no allocation path
+// ever needs logging or flushing.
+//
+// Thread safety: Alloc and Free are lock-free (tagged-pointer Treiber
+// stacks plus an atomic bump pointer), so the allocator never blocks a
+// non-blocking data structure built on top of it (§4.1).
+
+#ifndef TSP_PHEAP_ALLOCATOR_H_
+#define TSP_PHEAP_ALLOCATOR_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "pheap/layout.h"
+#include "pheap/region.h"
+
+namespace tsp::pheap {
+
+/// Runtime statistics; exact while no crash intervenes.
+struct AllocatorStats {
+  std::uint64_t total_allocs = 0;
+  std::uint64_t total_frees = 0;
+  std::uint64_t bump_offset = 0;
+  std::uint64_t arena_end = 0;
+};
+
+class Allocator {
+ public:
+  /// Number of size classes in use (block sizes, header included).
+  static constexpr std::size_t kNumSizeClasses = 35;
+
+  /// Largest supported payload (256 MiB block minus header).
+  static std::size_t MaxPayloadSize();
+
+  explicit Allocator(MappedRegion* region);
+
+  Allocator(const Allocator&) = delete;
+  Allocator& operator=(const Allocator&) = delete;
+
+  /// Allocates at least `payload_size` bytes tagged with `type_id`.
+  /// Returns nullptr when the arena is exhausted or the request exceeds
+  /// MaxPayloadSize. The payload is 16-byte aligned and NOT zeroed
+  /// (blocks recycled from free lists retain old bytes).
+  void* Alloc(std::size_t payload_size, std::uint32_t type_id);
+
+  /// Returns `payload` (obtained from Alloc) to its size-class free
+  /// list. Double frees are detected via the header magic and fatal.
+  void Free(void* payload);
+
+  /// Header of an allocated payload.
+  static BlockHeader* HeaderOf(void* payload) {
+    return reinterpret_cast<BlockHeader*>(static_cast<char*>(payload) -
+                                          sizeof(BlockHeader));
+  }
+  static const BlockHeader* HeaderOf(const void* payload) {
+    return reinterpret_cast<const BlockHeader*>(
+        static_cast<const char*>(payload) - sizeof(BlockHeader));
+  }
+
+  /// Total block size (header included) used for `payload_size`, or 0 if
+  /// the request is too large. Exposed for tests and the GC.
+  static std::size_t BlockSizeForPayload(std::size_t payload_size);
+
+  /// Index of the size class whose block size is exactly `block_size`,
+  /// or -1 if no class matches. Every block in the arena has a class-
+  /// exact size, so Free can always find its list.
+  static int SizeClassOf(std::size_t block_size);
+
+  /// Block size of size class `index`.
+  static std::size_t ClassBlockSize(int index);
+
+  AllocatorStats GetStats() const;
+
+  /// --- recovery interface (single-threaded contexts only) ---
+
+  /// Clears every free list and resets the bump pointer; the GC calls
+  /// this before re-populating free lists from swept gaps.
+  void ResetMetadata(std::uint64_t bump_offset);
+
+  /// Formats [offset, offset + block_size) as a free block of an exact
+  /// class size and pushes it. Requires SizeClassOf(block_size) >= 0.
+  void PushFreeBlock(std::uint64_t offset, std::size_t block_size);
+
+  MappedRegion* region() const { return region_; }
+
+ private:
+  void PushToList(int size_class, std::uint64_t block_offset);
+  std::uint64_t PopFromList(int size_class);
+
+  MappedRegion* region_;
+  RegionHeader* header_;
+};
+
+}  // namespace tsp::pheap
+
+#endif  // TSP_PHEAP_ALLOCATOR_H_

@@ -1,0 +1,180 @@
+#include "pheap/check.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "pheap/allocator.h"
+#include "pheap/layout.h"
+
+namespace tsp::pheap {
+namespace {
+
+constexpr std::size_t kMaxProblems = 16;
+
+void AddProblem(CheckReport* report, std::string problem) {
+  if (report->problems.size() < kMaxProblems) {
+    report->problems.push_back(std::move(problem));
+  }
+}
+
+struct Extent {
+  std::uint64_t offset;
+  std::uint64_t size;
+};
+
+}  // namespace
+
+std::string CheckReport::ToString() const {
+  std::string out = ok ? "heap check OK" : "heap check FAILED";
+  out += ": " + std::to_string(reachable_objects) + " live objects (" +
+         std::to_string(reachable_bytes) + " B), " +
+         std::to_string(free_blocks) + " free blocks (" +
+         std::to_string(free_bytes) + " B), " +
+         std::to_string(unaccounted_bytes) + " B unaccounted";
+  for (const std::string& problem : problems) {
+    out += "\n  - " + problem;
+  }
+  return out;
+}
+
+CheckReport CheckHeap(const PersistentHeap& heap,
+                      const TypeRegistry& registry) {
+  CheckReport report;
+  const MappedRegion* region = heap.region();
+  const RegionHeader* header = region->header();
+
+  // --- header sanity ---
+  if (header->magic != kRegionMagic) {
+    AddProblem(&report, "bad region magic");
+    return report;
+  }
+  const std::uint64_t arena_start = header->arena_offset;
+  const std::uint64_t arena_end = arena_start + header->arena_size;
+  const std::uint64_t bump =
+      header->bump_offset.load(std::memory_order_relaxed);
+  if (arena_end > header->region_size ||
+      header->runtime_area_offset + header->runtime_area_size !=
+          arena_start) {
+    AddProblem(&report, "region layout offsets are inconsistent");
+  }
+  if (bump < arena_start || bump > arena_end) {
+    AddProblem(&report, "bump pointer outside the arena");
+    return report;
+  }
+
+  std::vector<Extent> extents;
+
+  // --- free lists ---
+  const std::uint64_t max_blocks = (bump - arena_start) / (2 * kGranule) + 1;
+  for (std::size_t size_class = 0; size_class < Allocator::kNumSizeClasses;
+       ++size_class) {
+    const std::size_t expected_size =
+        Allocator::ClassBlockSize(static_cast<int>(size_class));
+    std::uint64_t offset =
+        OffsetOf(header->free_lists[size_class].load(
+            std::memory_order_relaxed));
+    std::uint64_t walked = 0;
+    while (offset != 0) {
+      if (offset < arena_start || offset + expected_size > bump ||
+          offset % kGranule != 0) {
+        AddProblem(&report, "free block outside arena in class " +
+                                std::to_string(size_class));
+        break;
+      }
+      const auto* block =
+          static_cast<const BlockHeader*>(region->FromOffset(offset));
+      if (block->magic != BlockHeader::kFreeMagic) {
+        AddProblem(&report, "free-list block without free magic in class " +
+                                std::to_string(size_class));
+        break;
+      }
+      if (block->block_size != expected_size) {
+        AddProblem(&report,
+                   "free block of wrong size in class " +
+                       std::to_string(size_class) + ": " +
+                       std::to_string(block->block_size));
+        break;
+      }
+      extents.push_back({offset, expected_size});
+      ++report.free_blocks;
+      report.free_bytes += expected_size;
+      if (++walked > max_blocks) {
+        AddProblem(&report, "free-list cycle in class " +
+                                std::to_string(size_class));
+        break;
+      }
+      offset = static_cast<const FreeBlockPayload*>(
+                   region->FromOffset(offset + sizeof(BlockHeader)))
+                   ->next_offset;
+    }
+  }
+
+  // --- reachability walk (mark without sweep) ---
+  std::unordered_set<std::uint64_t> visited;
+  std::vector<const void*> pending;
+  const std::uint64_t root =
+      header->root_offset.load(std::memory_order_relaxed);
+  if (root != 0) pending.push_back(region->FromOffset(root));
+  const PointerVisitor visit = [&pending](const void* p) {
+    if (p != nullptr) pending.push_back(p);
+  };
+  while (!pending.empty()) {
+    const void* payload = pending.back();
+    pending.pop_back();
+    if (!region->Contains(payload)) continue;  // foreign pointers are legal
+    const std::uint64_t payload_offset = region->ToOffset(payload);
+    if (payload_offset < arena_start + sizeof(BlockHeader) ||
+        payload_offset % kGranule != 0) {
+      AddProblem(&report, "reachable pointer is not a valid payload at " +
+                              std::to_string(payload_offset));
+      continue;
+    }
+    const std::uint64_t block_offset = payload_offset - sizeof(BlockHeader);
+    if (!visited.insert(block_offset).second) continue;
+    const auto* block =
+        static_cast<const BlockHeader*>(region->FromOffset(block_offset));
+    if (block->magic != BlockHeader::kAllocatedMagic) {
+      AddProblem(&report, "reachable block without allocated magic at " +
+                              std::to_string(block_offset));
+      continue;
+    }
+    if (Allocator::SizeClassOf(block->block_size) < 0 ||
+        block_offset + block->block_size > bump) {
+      AddProblem(&report, "reachable block with bad size at " +
+                              std::to_string(block_offset));
+      continue;
+    }
+    extents.push_back({block_offset, block->block_size});
+    ++report.reachable_objects;
+    report.reachable_bytes += block->block_size;
+    if (block->type_id != 0) {
+      const TypeInfo* info = registry.Find(block->type_id);
+      if (info != nullptr && info->trace) info->trace(block + 1, visit);
+    }
+  }
+
+  // --- overlap + accounting ---
+  std::sort(extents.begin(), extents.end(),
+            [](const Extent& a, const Extent& b) {
+              return a.offset < b.offset;
+            });
+  std::uint64_t covered = 0;
+  std::uint64_t cursor = arena_start;
+  for (const Extent& extent : extents) {
+    if (extent.offset < cursor) {
+      AddProblem(&report,
+                 "extents overlap at " + std::to_string(extent.offset) +
+                     " (free list and live data collide, or duplicate "
+                     "free blocks)");
+    }
+    covered += extent.size;
+    cursor = std::max(cursor, extent.offset + extent.size);
+  }
+  const std::uint64_t used = bump - arena_start;
+  report.unaccounted_bytes = used > covered ? used - covered : 0;
+
+  report.ok = report.problems.empty();
+  return report;
+}
+
+}  // namespace tsp::pheap

@@ -1,0 +1,43 @@
+// Copyright 2026 The TSP Authors.
+// Offline heap integrity checker (in the spirit of `db_check` tools):
+// validates region header sanity, free-list well-formedness, and
+// reachable-object health, and verifies that live and free space never
+// overlap. Intended for quiesced heaps — after recovery, before/after
+// test workloads, or from diagnostic tooling.
+
+#ifndef TSP_PHEAP_CHECK_H_
+#define TSP_PHEAP_CHECK_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "pheap/heap.h"
+#include "pheap/type_registry.h"
+
+namespace tsp::pheap {
+
+/// Result of a CheckHeap run.
+struct CheckReport {
+  bool ok = false;
+  std::uint64_t reachable_objects = 0;
+  std::uint64_t reachable_bytes = 0;
+  std::uint64_t free_blocks = 0;
+  std::uint64_t free_bytes = 0;
+  /// Bytes between the arena start and the bump pointer that are
+  /// neither reachable nor on a free list (leaked until the next GC).
+  std::uint64_t unaccounted_bytes = 0;
+  /// First problems found (capped at 16).
+  std::vector<std::string> problems;
+
+  std::string ToString() const;
+};
+
+/// Validates `heap`. Requires a quiesced heap (no concurrent mutators).
+/// Never modifies the heap.
+CheckReport CheckHeap(const PersistentHeap& heap,
+                      const TypeRegistry& registry);
+
+}  // namespace tsp::pheap
+
+#endif  // TSP_PHEAP_CHECK_H_

@@ -1,0 +1,195 @@
+// Copyright 2026 The TSP Authors.
+// Small persistent containers built on the §4.1 publish-after-initialize
+// discipline: every mutation orders its stores so that a recovery
+// observer — which sees a strict prefix of the issued stores — always
+// finds a consistent container. With a single writer (or external
+// synchronization) they need no logging and no flushing at all.
+//
+// For mutex-based multi-writer use, wrap mutations in a PMutex critical
+// section and route stores through AtlasThread::Store instead; these
+// containers are the zero-overhead single-writer counterpart.
+
+#ifndef TSP_PHEAP_CONTAINERS_H_
+#define TSP_PHEAP_CONTAINERS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <string_view>
+#include <type_traits>
+
+#include "common/logging.h"
+#include "pheap/heap.h"
+#include "pheap/type_registry.h"
+
+namespace tsp::pheap {
+
+// GCC 12's object-size analysis misfires on atomic accesses through
+// heap-payload pointers it cannot size (e.g. objects reached via the
+// persistent root); all accesses here are in-bounds by construction.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wstringop-overflow"
+
+/// Fixed-capacity persistent vector of a trivially copyable element
+/// type. Layout: [capacity][size][elements...]. push_back publishes the
+/// element *before* bumping size, so a crash between the two merely
+/// loses the in-flight element — never exposes a torn one.
+template <typename T>
+class PVector {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "persistent elements must be trivially copyable");
+
+ public:
+  static constexpr std::uint32_t kPersistentTypeId = 0x50564543;  // "PVEC"
+
+  /// Allocates a vector for at most `capacity` elements. Returns
+  /// nullptr when the heap is exhausted.
+  static PVector* Create(PersistentHeap* heap, std::uint64_t capacity) {
+    void* mem = heap->Alloc(AllocationSize(capacity), kPersistentTypeId);
+    if (mem == nullptr) return nullptr;
+    auto* vector = new (mem) PVector();
+    vector->capacity_ = capacity;
+    vector->size_.store(0, std::memory_order_relaxed);
+    return vector;
+  }
+
+  static std::size_t AllocationSize(std::uint64_t capacity) {
+    return sizeof(PVector) + capacity * sizeof(T);
+  }
+
+  /// Appends a copy of `value`. Returns false when full.
+  bool push_back(const T& value) {
+    const std::uint64_t index = size_.load(std::memory_order_relaxed);
+    if (index >= capacity_) return false;
+    std::memcpy(&data()[index], &value, sizeof(T));  // initialize...
+    size_.store(index + 1, std::memory_order_release);  // ...then publish
+    return true;
+  }
+
+  /// Removes the last element (a single size store; the element bytes
+  /// stay behind but are unreachable). No-op when empty.
+  void pop_back() {
+    const std::uint64_t current = size_.load(std::memory_order_relaxed);
+    if (current > 0) size_.store(current - 1, std::memory_order_release);
+  }
+
+  T& operator[](std::uint64_t index) {
+    TSP_DCHECK_LT(index, size());
+    return data()[index];
+  }
+  const T& operator[](std::uint64_t index) const {
+    TSP_DCHECK_LT(index, size());
+    return data()[index];
+  }
+
+  std::uint64_t size() const {
+    return size_.load(std::memory_order_acquire);
+  }
+  std::uint64_t capacity() const { return capacity_; }
+  bool empty() const { return size() == 0; }
+
+  T* begin() { return data(); }
+  T* end() { return data() + size(); }
+  const T* begin() const { return data(); }
+  const T* end() const { return data() + size(); }
+
+  /// Registers the (leaf) trace entry. Call once per process if PVector
+  /// objects are reachable from the root.
+  static void RegisterType(TypeRegistry* registry) {
+    registry->Register(TypeInfo{kPersistentTypeId, "PVector", nullptr});
+  }
+
+ private:
+  PVector() = default;
+
+  T* data() {
+    return reinterpret_cast<T*>(reinterpret_cast<char*>(this) +
+                                sizeof(PVector));
+  }
+  const T* data() const {
+    return reinterpret_cast<const T*>(reinterpret_cast<const char*>(this) +
+                                      sizeof(PVector));
+  }
+
+  std::uint64_t capacity_ = 0;
+  std::atomic<std::uint64_t> size_{0};
+};
+
+/// Fixed-capacity persistent byte string. Assign writes the new bytes
+/// into the *inactive* of two buffers, then publishes buffer index and
+/// length with one atomic store — so even overwrites of a longer string
+/// by a shorter one are crash-atomic (a plain single-buffer design
+/// would be torn when old bytes shine through a partial write).
+class PString {
+ public:
+  static constexpr std::uint32_t kPersistentTypeId = 0x50535452;  // "PSTR"
+
+  static PString* Create(PersistentHeap* heap, std::uint32_t capacity) {
+    void* mem = heap->Alloc(AllocationSize(capacity), kPersistentTypeId);
+    if (mem == nullptr) return nullptr;
+    auto* string = new (mem) PString();
+    string->capacity_ = capacity;
+    string->state_.store(0, std::memory_order_relaxed);
+    return string;
+  }
+
+  static std::size_t AllocationSize(std::uint32_t capacity) {
+    return sizeof(PString) + 2 * static_cast<std::size_t>(capacity);
+  }
+
+  /// Crash-atomically replaces the contents. Returns false if `text`
+  /// exceeds the capacity.
+  bool Assign(std::string_view text) {
+    if (text.size() > capacity_) return false;
+    const std::uint64_t state = state_.load(std::memory_order_relaxed);
+    const std::uint32_t next_buffer =
+        static_cast<std::uint32_t>((state >> 32) ^ 1);
+    std::memcpy(buffer(next_buffer), text.data(), text.size());
+    // Publish length and buffer selector in one 64-bit store.
+    state_.store((static_cast<std::uint64_t>(next_buffer) << 32) |
+                     static_cast<std::uint32_t>(text.size()),
+                 std::memory_order_release);
+    return true;
+  }
+
+  std::string_view view() const {
+    const std::uint64_t state = state_.load(std::memory_order_acquire);
+    const std::uint32_t active = static_cast<std::uint32_t>(state >> 32);
+    const std::uint32_t length = static_cast<std::uint32_t>(state);
+    return std::string_view(buffer(active), length);
+  }
+
+  std::uint32_t size() const {
+    return static_cast<std::uint32_t>(
+        state_.load(std::memory_order_acquire));
+  }
+  std::uint32_t capacity() const { return capacity_; }
+  bool empty() const { return size() == 0; }
+
+  static void RegisterType(TypeRegistry* registry) {
+    registry->Register(TypeInfo{kPersistentTypeId, "PString", nullptr});
+  }
+
+ private:
+  PString() = default;
+
+  char* buffer(std::uint32_t which) {
+    return reinterpret_cast<char*>(this) + sizeof(PString) +
+           static_cast<std::size_t>(which) * capacity_;
+  }
+  const char* buffer(std::uint32_t which) const {
+    return reinterpret_cast<const char*>(this) + sizeof(PString) +
+           static_cast<std::size_t>(which) * capacity_;
+  }
+
+  std::uint32_t capacity_ = 0;
+  std::uint32_t reserved_ = 0;
+  /// (active buffer << 32) | length.
+  std::atomic<std::uint64_t> state_{0};
+};
+
+#pragma GCC diagnostic pop
+
+}  // namespace tsp::pheap
+
+#endif  // TSP_PHEAP_CONTAINERS_H_

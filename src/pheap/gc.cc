@@ -1,0 +1,150 @@
+#include "pheap/gc.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace tsp::pheap {
+namespace {
+
+struct LiveBlock {
+  std::uint64_t offset;  // of the BlockHeader
+  std::uint64_t size;    // block_size (header included)
+};
+
+// Validates that `payload` points at the payload of a plausible
+// allocated block and returns its header offset, or 0.
+std::uint64_t ValidateBlock(const MappedRegion* region, const void* payload) {
+  const RegionHeader* rh = region->header();
+  if (payload == nullptr || !region->Contains(payload)) return 0;
+  const std::uint64_t payload_offset = region->ToOffset(payload);
+  if (payload_offset < rh->arena_offset + sizeof(BlockHeader)) return 0;
+  const std::uint64_t header_offset = payload_offset - sizeof(BlockHeader);
+  if (header_offset % kGranule != 0) return 0;
+  const auto* block = static_cast<const BlockHeader*>(
+      region->FromOffset(header_offset));
+  if (block->magic != BlockHeader::kAllocatedMagic) return 0;
+  if (block->block_size % kGranule != 0 || block->block_size < 2 * kGranule) {
+    return 0;
+  }
+  if (Allocator::SizeClassOf(block->block_size) < 0) return 0;
+  const std::uint64_t arena_end = rh->arena_offset + rh->arena_size;
+  if (header_offset + block->block_size > arena_end) return 0;
+  return header_offset;
+}
+
+}  // namespace
+
+GcStats RunMarkSweepGc(Allocator* allocator, const TypeRegistry& registry) {
+  MappedRegion* region = allocator->region();
+  RegionHeader* rh = region->header();
+  GcStats stats;
+
+  // --- mark ---
+  std::vector<const void*> pending;
+  std::vector<LiveBlock> live;
+  // Visited bitmap over granules of the arena, indexed by header offset.
+  const std::uint64_t arena_end_bound = rh->arena_offset + rh->arena_size;
+  const std::size_t granules =
+      static_cast<std::size_t>((arena_end_bound - rh->arena_offset) /
+                               kGranule);
+  std::vector<bool> visited(granules, false);
+  auto granule_index = [&](std::uint64_t header_offset) {
+    return static_cast<std::size_t>((header_offset - rh->arena_offset) /
+                                    kGranule);
+  };
+
+  const std::uint64_t root = rh->root_offset.load(std::memory_order_relaxed);
+  if (root != 0) {
+    pending.push_back(region->FromOffset(root));
+  }
+
+  const PointerVisitor visit = [&pending](const void* p) {
+    if (p != nullptr) pending.push_back(p);
+  };
+
+  while (!pending.empty()) {
+    const void* payload = pending.back();
+    pending.pop_back();
+    const std::uint64_t header_offset = ValidateBlock(region, payload);
+    if (header_offset == 0) {
+      // Pointers may legitimately reference non-heap memory (e.g. static
+      // data); count only in-region failures as suspicious.
+      if (payload != nullptr && region->Contains(payload)) {
+        ++stats.invalid_pointers;
+      }
+      continue;
+    }
+    const std::size_t index = granule_index(header_offset);
+    if (visited[index]) continue;
+    visited[index] = true;
+
+    const auto* block =
+        static_cast<const BlockHeader*>(region->FromOffset(header_offset));
+    live.push_back({header_offset, block->block_size});
+    ++stats.live_objects;
+    stats.live_bytes += block->block_size;
+
+    if (block->type_id != 0) {
+      const TypeInfo* info = registry.Find(block->type_id);
+      if (info != nullptr && info->trace) {
+        info->trace(block + 1, visit);
+      } else if (info == nullptr) {
+        TSP_LOG(WARNING) << "GC: unregistered type id " << block->type_id
+                         << "; treating object as a leaf";
+      }
+    }
+  }
+
+  // --- sweep: rebuild allocator metadata from the complement ---
+  std::sort(live.begin(), live.end(),
+            [](const LiveBlock& a, const LiveBlock& b) {
+              return a.offset < b.offset;
+            });
+
+  const std::uint64_t old_bump =
+      std::min<std::uint64_t>(rh->bump_offset.load(std::memory_order_relaxed),
+                              arena_end_bound);
+  std::uint64_t new_bump = rh->arena_offset;
+  for (const LiveBlock& block : live) {
+    new_bump = std::max(new_bump, block.offset + block.size);
+  }
+  stats.tail_reclaimed_bytes = old_bump > new_bump ? old_bump - new_bump : 0;
+
+  allocator->ResetMetadata(new_bump);
+
+  auto carve_gap = [&](std::uint64_t start, std::uint64_t end) {
+    std::uint64_t at = start;
+    while (end - at >= 2 * kGranule) {
+      // Largest class block that fits the remaining gap.
+      std::size_t best = 0;
+      for (int c = Allocator::kNumSizeClasses - 1; c >= 0; --c) {
+        const std::size_t block_size = Allocator::ClassBlockSize(c);
+        if (block_size <= end - at) {
+          best = block_size;
+          break;
+        }
+      }
+      if (best == 0) break;
+      allocator->PushFreeBlock(at, best);
+      ++stats.free_blocks;
+      stats.free_bytes += best;
+      at += best;
+    }
+    stats.sliver_bytes += end - at;
+  };
+
+  std::uint64_t cursor = rh->arena_offset;
+  for (const LiveBlock& block : live) {
+    if (block.offset > cursor) carve_gap(cursor, block.offset);
+    cursor = std::max(cursor, block.offset + block.size);
+  }
+  // Space between the last live block and the old bump pointer returns
+  // to the bump region implicitly (new_bump == cursor), so there is no
+  // trailing gap to carve.
+
+  return stats;
+}
+
+}  // namespace tsp::pheap

@@ -1,0 +1,37 @@
+#include "pheap/heap.h"
+
+namespace tsp::pheap {
+
+StatusOr<std::unique_ptr<PersistentHeap>> PersistentHeap::Create(
+    const std::string& path, const RegionOptions& options) {
+  TSP_ASSIGN_OR_RETURN(std::unique_ptr<MappedRegion> region,
+                       MappedRegion::Create(path, options));
+  return std::unique_ptr<PersistentHeap>(
+      new PersistentHeap(std::move(region)));
+}
+
+StatusOr<std::unique_ptr<PersistentHeap>> PersistentHeap::Open(
+    const std::string& path) {
+  TSP_ASSIGN_OR_RETURN(std::unique_ptr<MappedRegion> region,
+                       MappedRegion::Open(path));
+  return std::unique_ptr<PersistentHeap>(
+      new PersistentHeap(std::move(region)));
+}
+
+StatusOr<std::unique_ptr<PersistentHeap>> PersistentHeap::OpenReadOnly(
+    const std::string& path) {
+  TSP_ASSIGN_OR_RETURN(std::unique_ptr<MappedRegion> region,
+                       MappedRegion::OpenReadOnly(path));
+  return std::unique_ptr<PersistentHeap>(
+      new PersistentHeap(std::move(region)));
+}
+
+StatusOr<std::unique_ptr<PersistentHeap>> PersistentHeap::OpenOrCreate(
+    const std::string& path, const RegionOptions& options) {
+  TSP_ASSIGN_OR_RETURN(std::unique_ptr<MappedRegion> region,
+                       MappedRegion::OpenOrCreate(path, options));
+  return std::unique_ptr<PersistentHeap>(
+      new PersistentHeap(std::move(region)));
+}
+
+}  // namespace tsp::pheap

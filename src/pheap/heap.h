@@ -1,0 +1,145 @@
+// Copyright 2026 The TSP Authors.
+// PersistentHeap: the public facade over region + allocator + root +
+// recovery GC. This is the "persistent heap" of the paper: application
+// data lives here, is manipulated with ordinary loads and stores, and
+// must be reachable from a heap-wide root (get_root/set_root).
+
+#ifndef TSP_PHEAP_HEAP_H_
+#define TSP_PHEAP_HEAP_H_
+
+#include <concepts>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <string>
+#include <type_traits>
+#include <utility>
+
+#include "common/status.h"
+#include "pheap/allocator.h"
+#include "pheap/gc.h"
+#include "pheap/region.h"
+#include "pheap/type_registry.h"
+
+namespace tsp::pheap {
+
+/// Detects types that declare a persistent type id for GC tracing.
+template <typename T>
+concept HasPersistentTypeId = requires {
+  { T::kPersistentTypeId } -> std::convertible_to<std::uint32_t>;
+};
+
+/// A persistent heap backed by one mapped region file.
+///
+/// Lifecycle:
+///   * Create/Open/OpenOrCreate — map the file at its fixed address.
+///   * needs_recovery() — true when the previous session did not close
+///     cleanly; run the resilience runtime's rollback (if any), then
+///     RunRecoveryGc().
+///   * CloseClean() — marks an orderly shutdown. Simply destroying the
+///     heap (or crashing) leaves the unclean flag set, which is exactly
+///     what recovery keys off.
+///
+/// Thread safety: Alloc/Free/New are lock-free; root access is atomic.
+class PersistentHeap {
+ public:
+  static StatusOr<std::unique_ptr<PersistentHeap>> Create(
+      const std::string& path, const RegionOptions& options = {});
+  static StatusOr<std::unique_ptr<PersistentHeap>> Open(
+      const std::string& path);
+
+  /// Read-only attach for diagnostics (see MappedRegion::OpenReadOnly).
+  /// Allocation/mutation through such a heap is undefined; use it only
+  /// with const inspection APIs (CheckHeap, root traversal).
+  static StatusOr<std::unique_ptr<PersistentHeap>> OpenReadOnly(
+      const std::string& path);
+  static StatusOr<std::unique_ptr<PersistentHeap>> OpenOrCreate(
+      const std::string& path, const RegionOptions& options = {});
+
+  PersistentHeap(const PersistentHeap&) = delete;
+  PersistentHeap& operator=(const PersistentHeap&) = delete;
+
+  /// True iff the previous session ended without CloseClean, so the
+  /// resilience runtime should run recovery (rollback + GC).
+  bool needs_recovery() const { return region_->opened_after_crash(); }
+
+  /// Raw allocation; see Allocator::Alloc.
+  void* Alloc(std::size_t size, std::uint32_t type_id = 0) {
+    return allocator_.Alloc(size, type_id);
+  }
+  void Free(void* payload) { allocator_.Free(payload); }
+
+  /// Allocates and constructs a T. Persistent types should be trivially
+  /// destructible (their destructor never runs on crash) and declare
+  /// kPersistentTypeId if they embed pointers to other heap objects.
+  template <typename T, typename... Args>
+  T* New(Args&&... args) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "persistent objects must be trivially destructible");
+    std::uint32_t type_id = 0;
+    if constexpr (HasPersistentTypeId<T>) type_id = T::kPersistentTypeId;
+    void* p = Alloc(sizeof(T), type_id);
+    if (p == nullptr) return nullptr;
+    return new (p) T(std::forward<Args>(args)...);
+  }
+
+  /// Frees an object previously obtained from New.
+  template <typename T>
+  void Delete(T* object) {
+    Free(object);
+  }
+
+  /// get_root/set_root of the paper: the single entry point from which
+  /// all live persistent data must be reachable.
+  template <typename T = void>
+  T* root() const {
+    const std::uint64_t offset =
+        region_->header()->root_offset.load(std::memory_order_acquire);
+    return offset == 0 ? nullptr : static_cast<T*>(region_->FromOffset(offset));
+  }
+  void set_root(const void* payload) {
+    region_->header()->root_offset.store(
+        payload == nullptr ? 0 : region_->ToOffset(payload),
+        std::memory_order_release);
+  }
+
+  /// Runs the recovery-time mark-sweep GC (call after any runtime
+  /// rollback, with no concurrent mutators).
+  GcStats RunRecoveryGc(const TypeRegistry& registry) {
+    return RunMarkSweepGc(&allocator_, registry);
+  }
+
+  /// Declares recovery complete: needs_recovery() becomes false and
+  /// resilience runtimes may initialize. Call after rollback + GC.
+  void FinishRecovery() { region_->MarkRecovered(); }
+
+  /// Reserved bytes for the resilience runtime (undo logs, lock words).
+  void* runtime_area() const {
+    return region_->FromOffset(region_->header()->runtime_area_offset);
+  }
+  std::size_t runtime_area_size() const {
+    return region_->header()->runtime_area_size;
+  }
+
+  /// Marks a clean shutdown and syncs to the backing file.
+  void CloseClean() { region_->MarkCleanShutdown(); }
+
+  /// msync to the backing file (only needed by non-TSP plans).
+  Status SyncToBacking() { return region_->SyncToBacking(); }
+
+  MappedRegion* region() { return region_.get(); }
+  const MappedRegion* region() const { return region_.get(); }
+  Allocator* allocator() { return &allocator_; }
+  AllocatorStats GetAllocatorStats() const { return allocator_.GetStats(); }
+
+ private:
+  explicit PersistentHeap(std::unique_ptr<MappedRegion> region)
+      : region_(std::move(region)), allocator_(region_.get()) {}
+
+  std::unique_ptr<MappedRegion> region_;
+  Allocator allocator_;
+};
+
+}  // namespace tsp::pheap
+
+#endif  // TSP_PHEAP_HEAP_H_

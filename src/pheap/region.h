@@ -1,0 +1,121 @@
+// Copyright 2026 The TSP Authors.
+// MappedRegion: a file mapped MAP_SHARED at a fixed virtual address.
+//
+// This is the TSP substrate for process crashes: per POSIX (paper
+// Appendix A), every store to a MAP_SHARED mapping issued before a crash
+// remains visible to subsequent readers of the file, with no flushing or
+// msync during failure-free operation.
+
+#ifndef TSP_PHEAP_REGION_H_
+#define TSP_PHEAP_REGION_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "pheap/layout.h"
+
+namespace tsp::pheap {
+
+/// Options for creating a new region file.
+struct RegionOptions {
+  /// Total file/mapping size in bytes. Rounded up to the page size.
+  std::size_t size = 256 * 1024 * 1024;
+  /// Virtual address to map at. 0 picks the library default. Every
+  /// subsequent Open maps at the address recorded in the header.
+  std::uintptr_t base_address = 0;
+  /// Bytes reserved between the header and the arena for the resilience
+  /// runtime (undo logs, lock words).
+  std::size_t runtime_area_size = 16 * 1024 * 1024;
+};
+
+/// Default fixed mapping address. Chosen in a normally-empty part of the
+/// x86-64 user address space, away from the program heap, stacks, and
+/// the mmap area.
+inline constexpr std::uintptr_t kDefaultBaseAddress = 0x200000000000ULL;
+
+/// A mapped persistent region. Move-only; unmaps on destruction
+/// *without* marking a clean shutdown (destruction is
+/// indistinguishable from a crash by design — marking clean is an
+/// explicit act, see MarkCleanShutdown).
+class MappedRegion {
+ public:
+  ~MappedRegion();
+
+  MappedRegion(const MappedRegion&) = delete;
+  MappedRegion& operator=(const MappedRegion&) = delete;
+
+  /// Creates a new region file at `path` (fails if it already exists),
+  /// formats the header, and maps it.
+  static StatusOr<std::unique_ptr<MappedRegion>> Create(
+      const std::string& path, const RegionOptions& options);
+
+  /// Opens an existing region file and maps it at its recorded base
+  /// address. Returns kCorruption for files that are not TSP regions and
+  /// kFailedPrecondition if the address range is unavailable.
+  static StatusOr<std::unique_ptr<MappedRegion>> Open(const std::string& path);
+
+  /// Read-only open for diagnostic tooling: maps PROT_READ and performs
+  /// no header mutation whatsoever (no generation bump, no
+  /// clean-shutdown clearing), so inspection never perturbs recovery
+  /// state. Mutating methods are fatal on such regions.
+  static StatusOr<std::unique_ptr<MappedRegion>> OpenReadOnly(
+      const std::string& path);
+
+  /// Open if the file exists, Create otherwise.
+  static StatusOr<std::unique_ptr<MappedRegion>> OpenOrCreate(
+      const std::string& path, const RegionOptions& options);
+
+  /// Region base address (== header()->base_address).
+  void* base() const { return base_; }
+  std::size_t size() const { return size_; }
+  RegionHeader* header() const { return reinterpret_cast<RegionHeader*>(base_); }
+  const std::string& path() const { return path_; }
+
+  /// True iff the previous session did NOT mark a clean shutdown, i.e.
+  /// this open constitutes crash recovery.
+  bool opened_after_crash() const { return opened_after_crash_; }
+
+  /// Declares recovery complete (rollback + GC done): the region is
+  /// consistent again and runtimes may attach.
+  void MarkRecovered() { opened_after_crash_ = false; }
+
+  /// Converts between pointers into the region and byte offsets.
+  std::uint64_t ToOffset(const void* p) const {
+    return static_cast<std::uint64_t>(static_cast<const char*>(p) -
+                                      static_cast<const char*>(base_));
+  }
+  void* FromOffset(std::uint64_t offset) const {
+    return static_cast<char*>(base_) + offset;
+  }
+  bool Contains(const void* p) const {
+    return p >= base_ && p < static_cast<const char*>(base_) + size_;
+  }
+
+  /// Synchronously writes all modified pages to the backing file
+  /// (msync(MS_SYNC)). Not needed for process-crash tolerance; used by
+  /// non-TSP plans that must reach block storage.
+  Status SyncToBacking();
+
+  /// Marks the clean-shutdown flag (and syncs it). Call before orderly
+  /// process exit; skipping it simulates a crash.
+  void MarkCleanShutdown();
+
+  bool read_only() const { return read_only_; }
+
+ private:
+  MappedRegion(std::string path, void* mapped_base, std::size_t mapped_size)
+      : path_(std::move(path)), base_(mapped_base), size_(mapped_size) {}
+
+  std::string path_;
+  void* base_ = nullptr;
+  std::size_t size_ = 0;
+  bool opened_after_crash_ = false;
+  bool read_only_ = false;
+};
+
+}  // namespace tsp::pheap
+
+#endif  // TSP_PHEAP_REGION_H_

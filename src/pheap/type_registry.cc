@@ -1,0 +1,17 @@
+#include "pheap/type_registry.h"
+
+#include "common/logging.h"
+
+namespace tsp::pheap {
+
+void TypeRegistry::Register(TypeInfo info) {
+  TSP_CHECK_NE(info.type_id, 0u) << "type id 0 is reserved for leaf objects";
+  types_[info.type_id] = std::move(info);
+}
+
+const TypeInfo* TypeRegistry::Find(std::uint32_t type_id) const {
+  const auto it = types_.find(type_id);
+  return it == types_.end() ? nullptr : &it->second;
+}
+
+}  // namespace tsp::pheap

@@ -1,0 +1,65 @@
+// Copyright 2026 The TSP Authors.
+// Runtime registry of persistent object types, used by the recovery-time
+// garbage collector to trace pointers embedded in heap objects.
+//
+// Persistent types opt in by declaring
+//     static constexpr std::uint32_t kPersistentTypeId = <nonzero id>;
+// and registering a trace function each run (registration is volatile
+// state and must be repeated per process, like Atlas's recovery hooks).
+// Objects allocated with type id 0 are leaves: they contain no pointers
+// into the persistent heap.
+
+#ifndef TSP_PHEAP_TYPE_REGISTRY_H_
+#define TSP_PHEAP_TYPE_REGISTRY_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+
+namespace tsp::pheap {
+
+/// Callback handed to trace functions; call it once per embedded pointer
+/// to a persistent payload (null and out-of-arena pointers are ignored
+/// by the GC, so tracing may pass them unconditionally).
+using PointerVisitor = std::function<void(const void*)>;
+
+/// Visits every pointer stored in the object at `payload`.
+using TraceFn = std::function<void(const void* payload,
+                                   const PointerVisitor& visit)>;
+
+/// Describes one persistent type.
+struct TypeInfo {
+  std::uint32_t type_id = 0;
+  std::string name;
+  TraceFn trace;  // null for leaf types
+};
+
+/// Registry keyed by type id. Not thread-safe for mutation; build it at
+/// startup, then share it read-only.
+class TypeRegistry {
+ public:
+  /// Registers `info.type_id`. Re-registering an id replaces it (handy
+  /// in tests); id 0 is reserved for leaves and rejected.
+  void Register(TypeInfo info);
+
+  /// Convenience: register a type that declares kPersistentTypeId.
+  template <typename T>
+  void Register(std::string name, TraceFn trace) {
+    Register(TypeInfo{T::kPersistentTypeId, std::move(name),
+                      std::move(trace)});
+  }
+
+  /// Returns the registered info or nullptr. Unregistered nonzero ids
+  /// are treated as leaves by the GC (with a warning).
+  const TypeInfo* Find(std::uint32_t type_id) const;
+
+  std::size_t size() const { return types_.size(); }
+
+ private:
+  std::unordered_map<std::uint32_t, TypeInfo> types_;
+};
+
+}  // namespace tsp::pheap
+
+#endif  // TSP_PHEAP_TYPE_REGISTRY_H_

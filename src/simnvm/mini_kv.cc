@@ -1,0 +1,86 @@
+#include "simnvm/mini_kv.h"
+
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace tsp::simnvm {
+
+MiniKv::MiniKv(SimNvm* nvm, KvPolicy policy, std::size_t pairs)
+    : nvm_(nvm), policy_(policy), pairs_(pairs) {
+  TSP_CHECK_GE(nvm->size(), RequiredSize(pairs));
+}
+
+bool MiniKv::Update(std::size_t index, std::uint64_t value,
+                    CrashPoint crash_at) {
+  TSP_CHECK_LT(index, pairs_);
+  const int stop = static_cast<int>(crash_at);
+
+  // Step 0: arm the undo log with the old values.
+  if (stop <= 0) return false;
+  nvm_->Store(kLogPair, index);
+  nvm_->Store(kLogOldA, nvm_->Load(PairAddrA(index)));
+  nvm_->Store(kLogOldB, nvm_->Load(PairAddrB(index)));
+  nvm_->Store(kLogValid, 1);
+  if (policy_ == KvPolicy::kSyncFlush) {
+    // The non-TSP obligation: the log must be durable before any
+    // guarded store may reach NVM.
+    nvm_->FlushRange(kLogValid, 32);
+  }
+
+  // Step 1: first guarded store.
+  if (stop <= 1) return false;
+  nvm_->Store(PairAddrA(index), value);
+
+  // Step 2: second guarded store.
+  if (stop <= 2) return false;
+  nvm_->Store(PairAddrB(index), value);
+
+  // Step 3: disarm the log (transaction committed).
+  if (stop <= 3) return false;
+  nvm_->Store(kLogValid, 0);
+  if (policy_ == KvPolicy::kSyncFlush) {
+    // Commit must also be ordered: otherwise a lost disarm with
+    // partially persisted *next* transaction's data is ambiguous. (The
+    // sync-flush protocol flushes the whole transaction region.)
+    nvm_->FlushRange(kLogValid, 32);
+    nvm_->FlushRange(PairAddrA(index), 16);
+  }
+  return true;
+}
+
+std::uint64_t MiniKv::ReadA(std::size_t index) const {
+  return nvm_->Load(PairAddrA(index));
+}
+
+std::uint64_t MiniKv::ReadB(std::size_t index) const {
+  return nvm_->Load(PairAddrB(index));
+}
+
+bool MiniKv::RecoverAndCheck(std::vector<std::uint8_t> image,
+                             std::size_t pairs) {
+  auto word = [&image](std::uint64_t addr) {
+    std::uint64_t v = 0;
+    std::memcpy(&v, &image[addr], 8);
+    return v;
+  };
+  auto set_word = [&image](std::uint64_t addr, std::uint64_t v) {
+    std::memcpy(&image[addr], &v, 8);
+  };
+
+  // Undo: if the log is armed, roll the guarded pair back.
+  if (word(kLogValid) != 0) {
+    const std::uint64_t pair = word(kLogPair);
+    if (pair >= pairs) return false;  // corrupt log
+    set_word(PairAddrA(pair), word(kLogOldA));
+    set_word(PairAddrB(pair), word(kLogOldB));
+  }
+
+  // Application-level consistency: every pair internally equal.
+  for (std::size_t i = 0; i < pairs; ++i) {
+    if (word(PairAddrA(i)) != word(PairAddrB(i))) return false;
+  }
+  return true;
+}
+
+}  // namespace tsp::simnvm

@@ -1,0 +1,94 @@
+// Copyright 2026 The TSP Authors.
+// A miniature undo-logged key-value store over SimNvm, used to
+// demonstrate the paper's core claim at persistence-model level (§4.2):
+//
+//   * Without TSP, the undo log must be synchronously flushed before
+//     the guarded stores — otherwise a power-style crash can persist
+//     the data stores but lose the log, leaving the store unrecoverable.
+//   * With TSP (a guaranteed failure-time rescue of cached lines), the
+//     same protocol is correct with NO flushes at all.
+//
+// The store keeps pairs of mirrored slots; the application-level
+// consistency criterion is that both halves of a pair are equal after
+// recovery. Each Update is a failure-atomic transaction updating both
+// halves through an undo log.
+//
+// Layout in the simulated NVM (all offsets 8-byte words, pairs and the
+// log deliberately placed on distinct cache lines so they can be lost
+// independently):
+//   line 0:  log header  [valid][pair][old_a][old_b]
+//   line 1+: pair i at byte 64*(1+i): [a_i][b_i]
+
+#ifndef TSP_SIMNVM_MINI_KV_H_
+#define TSP_SIMNVM_MINI_KV_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "simnvm/sim_nvm.h"
+
+namespace tsp::simnvm {
+
+/// Whether the protocol synchronously flushes undo-log entries.
+enum class KvPolicy {
+  kNoFlush,    // TSP mode: rely on a failure-time rescue
+  kSyncFlush,  // non-TSP mode: flush + fence log before data stores
+};
+
+class MiniKv {
+ public:
+  /// Steps inside Update at which a crash can be injected (crash BEFORE
+  /// the step executes). kDone = run to completion.
+  enum class CrashPoint : int {
+    kBeforeLogValid = 0,  // nothing happened yet
+    kBeforeStoreA = 1,    // log written (and flushed, if policy says so)
+    kBeforeStoreB = 2,    // a updated, b stale
+    kBeforeLogClear = 3,  // both updated, log still armed
+    kDone = 4,
+  };
+
+  MiniKv(SimNvm* nvm, KvPolicy policy, std::size_t pairs);
+
+  /// Failure-atomically sets pair `index` to `value` (both halves).
+  /// Stops just before `crash_at` without executing it; returns false
+  /// if it stopped early.
+  bool Update(std::size_t index, std::uint64_t value,
+              CrashPoint crash_at = CrashPoint::kDone);
+
+  std::uint64_t ReadA(std::size_t index) const;
+  std::uint64_t ReadB(std::size_t index) const;
+  std::size_t pairs() const { return pairs_; }
+
+  /// Recovery + consistency check over a crash image: applies the undo
+  /// log if armed, then verifies every pair is internally equal.
+  /// Returns true iff the image is recoverable to a consistent state.
+  static bool RecoverAndCheck(std::vector<std::uint8_t> image,
+                              std::size_t pairs);
+
+  /// Byte size of simulated NVM needed for `pairs`.
+  static std::size_t RequiredSize(std::size_t pairs) {
+    return (1 + pairs) * 64;
+  }
+
+ private:
+  // Log header word offsets (bytes).
+  static constexpr std::uint64_t kLogValid = 0;
+  static constexpr std::uint64_t kLogPair = 8;
+  static constexpr std::uint64_t kLogOldA = 16;
+  static constexpr std::uint64_t kLogOldB = 24;
+
+  static std::uint64_t PairAddrA(std::size_t index) {
+    return 64 * (1 + index);
+  }
+  static std::uint64_t PairAddrB(std::size_t index) {
+    return 64 * (1 + index) + 8;
+  }
+
+  SimNvm* nvm_;
+  KvPolicy policy_;
+  std::size_t pairs_;
+};
+
+}  // namespace tsp::simnvm
+
+#endif  // TSP_SIMNVM_MINI_KV_H_

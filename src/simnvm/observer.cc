@@ -1,0 +1,36 @@
+#include "simnvm/observer.h"
+
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace tsp::simnvm {
+
+StoreLog::StoreLog(std::size_t size)
+    : initial_(size, 0), current_(size, 0) {}
+
+void StoreLog::Store(std::uint64_t addr, std::uint64_t value) {
+  TSP_CHECK_EQ(addr % 8, 0u);
+  TSP_CHECK_LE(addr + 8, current_.size());
+  std::memcpy(&current_[addr], &value, 8);
+  stores_.push_back(Record{addr, value});
+}
+
+std::uint64_t StoreLog::Load(std::uint64_t addr) const {
+  TSP_CHECK_EQ(addr % 8, 0u);
+  TSP_CHECK_LE(addr + 8, current_.size());
+  std::uint64_t value = 0;
+  std::memcpy(&value, &current_[addr], 8);
+  return value;
+}
+
+std::vector<std::uint8_t> StoreLog::PrefixImage(std::size_t prefix) const {
+  TSP_CHECK_LE(prefix, stores_.size());
+  std::vector<std::uint8_t> image = initial_;
+  for (std::size_t i = 0; i < prefix; ++i) {
+    std::memcpy(&image[stores_[i].addr], &stores_[i].value, 8);
+  }
+  return image;
+}
+
+}  // namespace tsp::simnvm

@@ -1,0 +1,62 @@
+// Copyright 2026 The TSP Authors.
+// The recovery observer of §4.1 (after Pelley et al.): "a thread ...
+// created at, and observ[ing] the state of program memory at, the
+// instant when all other threads in a program abruptly halt due to a
+// crash. ... TSP ensures that the state of recovered memory will
+// reflect a strict prefix of the store instructions issued by the
+// terminated threads."
+//
+// StoreLog records a program's stores in issue order and can
+// materialize the memory image after *any* strict prefix — which is
+// exactly the set of states a TSP recovery observer can see. Sweeping
+// all prefixes of an execution therefore checks the §4.1 theorem
+// exhaustively for that execution: a non-blocking update discipline
+// must leave every prefix consistent; sloppier disciplines show
+// inconsistent prefixes (see tests/simnvm/observer_test.cc).
+
+#ifndef TSP_SIMNVM_OBSERVER_H_
+#define TSP_SIMNVM_OBSERVER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace tsp::simnvm {
+
+/// Word-granular store recorder. Single-threaded by design: the model
+/// analyzes update *disciplines*, with interleavings supplied by the
+/// driver.
+class StoreLog {
+ public:
+  /// `size` bytes of zero-initialized memory (8-byte aligned accesses).
+  explicit StoreLog(std::size_t size);
+
+  /// Issues (and records) a store.
+  void Store(std::uint64_t addr, std::uint64_t value);
+
+  /// Reads the current (all-stores-applied) view.
+  std::uint64_t Load(std::uint64_t addr) const;
+
+  /// Number of stores issued so far. Prefixes range over [0, count].
+  std::size_t store_count() const { return stores_.size(); }
+
+  /// The memory image after exactly the first `prefix` stores — the
+  /// recovery observer's view if the crash happened at that instant.
+  std::vector<std::uint8_t> PrefixImage(std::size_t prefix) const;
+
+  std::size_t size() const { return initial_.size(); }
+
+ private:
+  struct Record {
+    std::uint64_t addr;
+    std::uint64_t value;
+  };
+
+  std::vector<std::uint8_t> initial_;  // all zeros
+  std::vector<std::uint8_t> current_;
+  std::vector<Record> stores_;
+};
+
+}  // namespace tsp::simnvm
+
+#endif  // TSP_SIMNVM_OBSERVER_H_

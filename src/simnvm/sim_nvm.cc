@@ -1,0 +1,120 @@
+#include "simnvm/sim_nvm.h"
+
+#include <cstring>
+
+#include "common/logging.h"
+#include "common/random.h"
+
+namespace tsp::simnvm {
+
+SimNvm::SimNvm(std::size_t size, std::size_t cache_capacity,
+               std::uint64_t eviction_seed)
+    : nvm_(size, 0),
+      cache_capacity_(cache_capacity),
+      eviction_state_(eviction_seed) {
+  TSP_CHECK_EQ(size % kCacheLineSize, 0u);
+}
+
+SimNvm::Line& SimNvm::DirtyLineFor(std::uint64_t addr) {
+  const std::uint64_t index = LineIndex(addr);
+  auto it = cache_.find(index);
+  if (it == cache_.end()) {
+    MaybeEvict();
+    Line line(kCacheLineSize);
+    std::memcpy(line.data(), &nvm_[index * kCacheLineSize], kCacheLineSize);
+    it = cache_.emplace(index, std::move(line)).first;
+  }
+  return it->second;
+}
+
+void SimNvm::Store(std::uint64_t addr, std::uint64_t value) {
+  TSP_CHECK_EQ(addr % 8, 0u);
+  TSP_CHECK_LE(addr + 8, nvm_.size());
+  Line& line = DirtyLineFor(addr);
+  std::memcpy(&line[addr % kCacheLineSize], &value, 8);
+  ++stats_.stores;
+}
+
+std::uint64_t SimNvm::Load(std::uint64_t addr) const {
+  TSP_CHECK_EQ(addr % 8, 0u);
+  TSP_CHECK_LE(addr + 8, nvm_.size());
+  ++const_cast<Stats&>(stats_).loads;
+  std::uint64_t value = 0;
+  const auto it = cache_.find(LineIndex(addr));
+  if (it != cache_.end()) {
+    std::memcpy(&value, &it->second[addr % kCacheLineSize], 8);
+  } else {
+    std::memcpy(&value, &nvm_[addr], 8);
+  }
+  return value;
+}
+
+void SimNvm::WriteBack(std::uint64_t line_index, const Line& line) {
+  std::memcpy(&nvm_[line_index * kCacheLineSize], line.data(),
+              kCacheLineSize);
+}
+
+void SimNvm::FlushLine(std::uint64_t addr) {
+  const std::uint64_t index = LineIndex(addr);
+  const auto it = cache_.find(index);
+  ++stats_.line_flushes;
+  if (it == cache_.end()) return;  // clean line: no-op
+  WriteBack(index, it->second);
+  cache_.erase(it);
+}
+
+void SimNvm::Fence() { ++stats_.fences; }
+
+void SimNvm::FlushRange(std::uint64_t addr, std::size_t n) {
+  if (n == 0) return;
+  const std::uint64_t first = addr / kCacheLineSize;
+  const std::uint64_t last = (addr + n - 1) / kCacheLineSize;
+  for (std::uint64_t line = first; line <= last; ++line) {
+    FlushLine(line * kCacheLineSize);
+  }
+  Fence();
+}
+
+void SimNvm::MaybeEvict() {
+  if (cache_capacity_ == 0 || cache_.size() < cache_capacity_) return;
+  // Pseudo-random victim: iterate to a seeded position. The cache is
+  // small in this model, so O(n) selection is fine.
+  Random rng(eviction_state_);
+  eviction_state_ = rng.Next();
+  auto it = cache_.begin();
+  std::advance(it, static_cast<long>(rng.Uniform(cache_.size())));
+  WriteBack(it->first, it->second);
+  cache_.erase(it);
+  ++stats_.evictions;
+}
+
+std::vector<std::uint8_t> SimNvm::TakeCrashImage(CrashMode mode,
+                                                 std::uint64_t seed) const {
+  std::vector<std::uint8_t> image = nvm_;
+  switch (mode) {
+    case CrashMode::kLoseAllUnflushed:
+      break;  // dirty lines simply never made it
+    case CrashMode::kLoseRandomSubset: {
+      // Deterministic per (line, seed) regardless of hash-map iteration
+      // order, so sweeps are reproducible.
+      Random rng(0);
+      for (const auto& [index, line] : cache_) {
+        rng.Seed(seed ^ (index * 0x9E3779B97F4A7C15ULL) ^ 0x5EED5EEDULL);
+        if (rng.Bernoulli(0.5)) {
+          std::memcpy(&image[index * kCacheLineSize], line.data(),
+                      kCacheLineSize);
+        }
+      }
+      break;
+    }
+    case CrashMode::kTspRescue:
+      for (const auto& [index, line] : cache_) {
+        std::memcpy(&image[index * kCacheLineSize], line.data(),
+                    kCacheLineSize);
+      }
+      break;
+  }
+  return image;
+}
+
+}  // namespace tsp::simnvm

@@ -1,0 +1,99 @@
+// Copyright 2026 The TSP Authors.
+// Cache-line-granular persistence simulator.
+//
+// Real process-crash experiments need no simulation (kernel persistence
+// keeps every issued store, faultsim/). But kernel panics and power
+// outages destroy the *volatile CPU cache*, and a laptop cannot be
+// power-cycled per test. SimNvm models exactly the state a recovery
+// observer sees after such failures: stores land in a simulated
+// write-back cache; FlushLine + Fence write lines back to the simulated
+// NVM; a crash materializes an NVM image in which unflushed dirty lines
+// are lost — entirely (kLoseAllUnflushed), in an arbitrary subset
+// (kLoseRandomSubset — hardware may have written some back on its own),
+// or not at all (kTspRescue — a failure-time flush saved them, the TSP
+// contract).
+
+#ifndef TSP_SIMNVM_SIM_NVM_H_
+#define TSP_SIMNVM_SIM_NVM_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace tsp::simnvm {
+
+/// How a simulated crash treats dirty (unflushed) cache lines.
+enum class CrashMode {
+  /// Every dirty line is lost: worst case for unflushed data.
+  kLoseAllUnflushed,
+  /// Each dirty line independently survives with probability 1/2
+  /// (seeded): models uncontrolled hardware write-back order.
+  kLoseRandomSubset,
+  /// Every dirty line is written back: the TSP failure-time rescue
+  /// (panic-handler cache flush, WSP residual-energy flush).
+  kTspRescue,
+};
+
+/// A single simulated persistence domain. Not thread-safe; the model is
+/// for protocol-level analysis, not concurrency.
+class SimNvm {
+ public:
+  struct Stats {
+    std::uint64_t stores = 0;
+    std::uint64_t loads = 0;
+    std::uint64_t line_flushes = 0;
+    std::uint64_t fences = 0;
+    std::uint64_t evictions = 0;
+  };
+
+  /// `size` bytes of simulated NVM, zero-initialized. `cache_capacity`
+  /// limits the number of dirty lines; 0 = unbounded. When the cache is
+  /// full, a pseudo-random dirty line is evicted (written back), which
+  /// is how unflushed data can still reach NVM on real hardware.
+  explicit SimNvm(std::size_t size, std::size_t cache_capacity = 0,
+                  std::uint64_t eviction_seed = 1);
+
+  /// 8-byte aligned store/load through the cache (program view).
+  void Store(std::uint64_t addr, std::uint64_t value);
+  std::uint64_t Load(std::uint64_t addr) const;
+
+  /// Writes the line containing `addr` back to NVM (clwb/clflush).
+  void FlushLine(std::uint64_t addr);
+  /// Orders flushes (sfence). In this synchronous model it only counts.
+  void Fence();
+  /// Convenience: flush every line overlapping [addr, addr+n) + fence.
+  void FlushRange(std::uint64_t addr, std::size_t n);
+
+  /// The durable image an observer would see after a crash in `mode`.
+  /// Const: taking an image does not perturb the simulation, so one run
+  /// can be probed at many crash points.
+  std::vector<std::uint8_t> TakeCrashImage(CrashMode mode,
+                                           std::uint64_t seed = 0) const;
+
+  std::size_t size() const { return nvm_.size(); }
+  std::size_t DirtyLineCount() const { return cache_.size(); }
+  const Stats& stats() const { return stats_; }
+  void ResetStats() { stats_ = Stats(); }
+
+ private:
+  using Line = std::vector<std::uint8_t>;  // kCacheLineSize bytes
+
+  std::uint64_t LineIndex(std::uint64_t addr) const {
+    return addr / kCacheLineSize;
+  }
+  Line& DirtyLineFor(std::uint64_t addr);
+  void WriteBack(std::uint64_t line_index, const Line& line);
+  void MaybeEvict();
+
+  std::vector<std::uint8_t> nvm_;
+  std::unordered_map<std::uint64_t, Line> cache_;  // dirty lines only
+  std::size_t cache_capacity_;
+  std::uint64_t eviction_state_;
+  Stats stats_;
+};
+
+}  // namespace tsp::simnvm
+
+#endif  // TSP_SIMNVM_SIM_NVM_H_

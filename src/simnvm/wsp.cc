@@ -1,0 +1,47 @@
+#include "simnvm/wsp.h"
+
+#include <cstdio>
+
+namespace tsp::simnvm {
+
+WspAssessment AssessWsp(const WspConfig& config) {
+  WspAssessment result;
+
+  result.stage1_seconds =
+      config.cache_bytes / config.cache_flush_bandwidth_bytes_per_s;
+  result.stage1_joules = result.stage1_seconds * config.stage1_power_watts;
+  result.stage1_feasible = result.stage1_joules <= config.psu_residual_joules;
+
+  if (config.dram_bytes > 0) {
+    result.stage2_seconds =
+        config.dram_bytes / config.flash_bandwidth_bytes_per_s;
+    result.stage2_joules = result.stage2_seconds * config.stage2_power_watts;
+    result.stage2_feasible = result.stage2_joules <= config.supercap_joules;
+  } else {
+    result.stage2_feasible = true;  // NVDIMM/NVRAM: nothing to evacuate
+  }
+
+  result.feasible = result.stage1_feasible && result.stage2_feasible;
+  return result;
+}
+
+double MinimumSupercapJoules(const WspConfig& config) {
+  if (config.dram_bytes <= 0) return 0;
+  return config.dram_bytes / config.flash_bandwidth_bytes_per_s *
+         config.stage2_power_watts;
+}
+
+std::string WspAssessment::ToString() const {
+  char buffer[256];
+  std::snprintf(buffer, sizeof(buffer),
+                "stage1 (cache->DRAM): %.3f ms, %.3f J, %s; "
+                "stage2 (DRAM->flash): %.2f s, %.1f J, %s; rescue %s",
+                stage1_seconds * 1e3, stage1_joules,
+                stage1_feasible ? "ok" : "INSUFFICIENT",
+                stage2_seconds, stage2_joules,
+                stage2_feasible ? "ok" : "INSUFFICIENT",
+                feasible ? "FEASIBLE" : "INFEASIBLE");
+  return buffer;
+}
+
+}  // namespace tsp::simnvm

@@ -1,0 +1,65 @@
+// Copyright 2026 The TSP Authors.
+// Whole System Persistence (WSP) feasibility model (paper §3, citing
+// Narayanan & Hodson, ASPLOS'12): "an ingenious two-stage TSP design
+// that protects the entire state of a computer from power outages by
+// first flushing the contents of volatile CPU registers and caches into
+// volatile DRAM using residual energy stored in the system power supply
+// and then evacuating the contents of DRAM into flash storage using
+// energy stored in supercapacitors."
+//
+// The model answers the planning question behind every power-outage TSP
+// design: does the available standby energy cover the failure-time
+// rescue? It also quantifies the paper's observation that flushing CPU
+// caches is "minuscule" next to evacuating DRAM to block storage.
+
+#ifndef TSP_SIMNVM_WSP_H_
+#define TSP_SIMNVM_WSP_H_
+
+#include <string>
+
+namespace tsp::simnvm {
+
+/// Machine parameters. Defaults sketch a 2014-era two-socket server.
+struct WspConfig {
+  // --- stage 1: registers + caches → DRAM, on PSU residual energy ---
+  double cache_bytes = 40.0 * 1024 * 1024;  // total LLC + upper levels
+  double cache_flush_bandwidth_bytes_per_s = 20e9;
+  double stage1_power_watts = 150;  // whole machine stays up briefly
+  double psu_residual_joules = 30;  // hold-up energy in the PSU caps
+
+  // --- stage 2: DRAM → flash, on supercapacitor energy ---
+  /// Bytes that must be evacuated. With NVDIMMs/NVRAM this stage
+  /// disappears (set to 0).
+  double dram_bytes = 32.0 * 1024 * 1024 * 1024;
+  double flash_bandwidth_bytes_per_s = 1e9;
+  double stage2_power_watts = 25;  // DRAM + flash + controller only
+  double supercap_joules = 2000;
+};
+
+/// Feasibility verdict with the per-stage budget arithmetic.
+struct WspAssessment {
+  double stage1_seconds = 0;
+  double stage1_joules = 0;
+  bool stage1_feasible = false;
+
+  double stage2_seconds = 0;
+  double stage2_joules = 0;
+  bool stage2_feasible = false;
+
+  /// True iff the full rescue fits its energy budgets — the machine can
+  /// run power-outage TSP with zero failure-free overhead.
+  bool feasible = false;
+
+  std::string ToString() const;
+};
+
+/// Evaluates the two-stage rescue for `config`.
+WspAssessment AssessWsp(const WspConfig& config);
+
+/// Minimum supercapacitor energy (joules) for stage 2 of `config`,
+/// ignoring its configured supercap_joules.
+double MinimumSupercapJoules(const WspConfig& config);
+
+}  // namespace tsp::simnvm
+
+#endif  // TSP_SIMNVM_WSP_H_

@@ -1,0 +1,132 @@
+#include "workload/map_session.h"
+
+#include "common/logging.h"
+
+namespace tsp::workload {
+
+const char* MapVariantName(MapVariant variant) {
+  switch (variant) {
+    case MapVariant::kMutexNative:
+      return "mutex-native";
+    case MapVariant::kMutexLogOnly:
+      return "mutex-atlas-log-only";
+    case MapVariant::kMutexLogFlush:
+      return "mutex-atlas-log+flush";
+    case MapVariant::kLockFreeSkipList:
+      return "lockfree-skiplist";
+  }
+  return "unknown";
+}
+
+void MapSession::RegisterAllTypes(pheap::TypeRegistry* registry) {
+  registry->Register(pheap::TypeInfo{
+      SessionRoot::kPersistentTypeId, "MapSessionRoot",
+      [](const void* payload, const pheap::PointerVisitor& visit) {
+        visit(static_cast<const SessionRoot*>(payload)->map_root);
+      }});
+  maps::MutexHashMap::RegisterTypes(registry);
+  lockfree::SkipListMap::RegisterTypes(registry);
+}
+
+StatusOr<std::unique_ptr<MapSession>> MapSession::OpenOrCreate(
+    const Config& config) {
+  auto session = std::unique_ptr<MapSession>(new MapSession(config));
+  TSP_RETURN_IF_ERROR(session->Init());
+  return session;
+}
+
+Status MapSession::Init() {
+  pheap::RegionOptions region_options;
+  region_options.size = config_.heap_size;
+  region_options.base_address = config_.base_address;
+  region_options.runtime_area_size = config_.runtime_area_size;
+  TSP_ASSIGN_OR_RETURN(
+      heap_, pheap::PersistentHeap::OpenOrCreate(config_.path,
+                                                 region_options));
+
+  if (heap_->needs_recovery()) {
+    pheap::TypeRegistry registry;
+    RegisterAllTypes(&registry);
+    TSP_ASSIGN_OR_RETURN(recovery_, atlas::RecoverHeap(heap_.get(),
+                                                       registry));
+    recovered_ = true;
+  }
+
+  // Locate or create the session root.
+  auto* root = heap_->root<SessionRoot>();
+  if (root == nullptr) {
+    root = heap_->New<SessionRoot>();
+    if (root == nullptr) {
+      return Status::ResourceExhausted("heap too small for session root");
+    }
+    root->variant_tag = static_cast<std::uint32_t>(config_.variant);
+    root->reserved = 0;
+    root->map_root = nullptr;
+    heap_->set_root(root);
+  } else if (root->variant_tag !=
+             static_cast<std::uint32_t>(config_.variant)) {
+    return Status::FailedPrecondition(
+        std::string("heap holds a different map variant: ") +
+        MapVariantName(static_cast<MapVariant>(root->variant_tag)));
+  }
+
+  // Attach the Atlas runtime for the logged variants.
+  if (config_.variant == MapVariant::kMutexLogOnly ||
+      config_.variant == MapVariant::kMutexLogFlush) {
+    const PersistencePolicy policy =
+        config_.variant == MapVariant::kMutexLogOnly
+            ? PersistencePolicy::TspLogOnly()
+            : PersistencePolicy::SyncFlush();
+    atlas::AtlasRuntime::Options runtime_options;
+    runtime_options.prune_interval_us = config_.prune_interval_us;
+    runtime_ = std::make_unique<atlas::AtlasRuntime>(heap_.get(), policy,
+                                                     runtime_options);
+    TSP_RETURN_IF_ERROR(runtime_->Initialize());
+  }
+
+  // Attach the map implementation.
+  switch (config_.variant) {
+    case MapVariant::kMutexNative:
+    case MapVariant::kMutexLogOnly:
+    case MapVariant::kMutexLogFlush: {
+      auto* map_root = static_cast<maps::HashMapRoot*>(root->map_root);
+      if (map_root == nullptr) {
+        map_root = maps::MutexHashMap::CreateRoot(heap_.get(),
+                                                  config_.hash_options);
+        if (map_root == nullptr) {
+          return Status::ResourceExhausted("heap too small for bucket array");
+        }
+        root->map_root = map_root;
+      }
+      map_ = std::make_unique<maps::MutexHashMap>(
+          heap_.get(), map_root, runtime_.get(), config_.hash_options);
+      break;
+    }
+    case MapVariant::kLockFreeSkipList: {
+      auto* map_root = static_cast<lockfree::SkipListRoot*>(root->map_root);
+      if (map_root == nullptr) {
+        map_root = lockfree::SkipListMap::CreateRoot(heap_.get());
+        if (map_root == nullptr) {
+          return Status::ResourceExhausted("heap too small for skip list");
+        }
+        root->map_root = map_root;
+      }
+      skiplist_ = std::make_unique<lockfree::SkipListMap>(heap_.get(),
+                                                          map_root);
+      map_ = std::make_unique<maps::SkipListMapAdapter>(skiplist_.get());
+      break;
+    }
+  }
+  return Status::OK();
+}
+
+void MapSession::CloseClean() {
+  map_.reset();
+  skiplist_.reset();
+  runtime_.reset();
+  if (heap_ != nullptr) heap_->CloseClean();
+}
+
+MapSession::~MapSession() = default;
+
+}  // namespace tsp::workload

@@ -1,0 +1,105 @@
+// Copyright 2026 The TSP Authors.
+// MapSession: one-stop lifecycle for the paper's map experiments.
+//
+// Encapsulates, per §5 of the paper: opening (or creating) a persistent
+// heap, running the recovery pipeline when the previous session crashed
+// (Atlas rollback → mark-sweep GC), attaching the requested map variant,
+// and exposing it through the common Map interface. Used by the
+// fault-injection harness, the Table-1 benchmark, tests and examples.
+
+#ifndef TSP_WORKLOAD_MAP_SESSION_H_
+#define TSP_WORKLOAD_MAP_SESSION_H_
+
+#include <memory>
+#include <string>
+
+#include "atlas/recovery.h"
+#include "atlas/runtime.h"
+#include "common/status.h"
+#include "lockfree/skiplist.h"
+#include "maps/map_interface.h"
+#include "maps/mutex_hashmap.h"
+#include "maps/skiplist_adapter.h"
+#include "pheap/heap.h"
+
+namespace tsp::workload {
+
+/// The four experimental variants of Table 1.
+enum class MapVariant {
+  kMutexNative = 0,   // "no Atlas"
+  kMutexLogOnly = 1,  // Atlas in TSP mode: "log only"
+  kMutexLogFlush = 2, // Atlas without TSP: "log + flush"
+  kLockFreeSkipList = 3,
+};
+
+const char* MapVariantName(MapVariant variant);
+
+/// A live session against one persistent map heap.
+class MapSession {
+ public:
+  struct Config {
+    MapVariant variant = MapVariant::kMutexLogOnly;
+    std::string path;
+    std::size_t heap_size = 512 * 1024 * 1024;
+    std::uintptr_t base_address = 0;  // 0 = library default
+    std::size_t runtime_area_size = 32 * 1024 * 1024;
+    maps::MutexHashMap::Options hash_options;
+    /// Background log-pruner interval (mutex+Atlas variants).
+    std::uint32_t prune_interval_us = 200;
+  };
+
+  /// Opens (creating if absent) the heap at config.path, runs recovery
+  /// if the previous session crashed, and attaches the map.
+  static StatusOr<std::unique_ptr<MapSession>> OpenOrCreate(
+      const Config& config);
+
+  ~MapSession();
+
+  MapSession(const MapSession&) = delete;
+  MapSession& operator=(const MapSession&) = delete;
+
+  maps::Map* map() { return map_.get(); }
+  const maps::Map* map() const { return map_.get(); }
+  pheap::PersistentHeap* heap() { return heap_.get(); }
+  atlas::AtlasRuntime* runtime() { return runtime_.get(); }
+  MapVariant variant() const { return config_.variant; }
+
+  /// True if this open performed crash recovery.
+  bool recovered() const { return recovered_; }
+  const atlas::RecoveryStats& recovery_stats() const {
+    return recovery_.atlas;
+  }
+  const pheap::GcStats& gc_stats() const { return recovery_.gc; }
+
+  /// Registers all persistent types used by any map variant.
+  static void RegisterAllTypes(pheap::TypeRegistry* registry);
+
+  /// Marks an orderly shutdown; destroying the session without calling
+  /// this is indistinguishable from a crash.
+  void CloseClean();
+
+ private:
+  /// Persistent session root: tags the variant and points at the map.
+  struct SessionRoot {
+    static constexpr std::uint32_t kPersistentTypeId = 0x53455353;  // "SESS"
+    std::uint32_t variant_tag;
+    std::uint32_t reserved;
+    void* map_root;
+  };
+
+  explicit MapSession(Config config) : config_(std::move(config)) {}
+
+  Status Init();
+
+  Config config_;
+  std::unique_ptr<pheap::PersistentHeap> heap_;
+  std::unique_ptr<atlas::AtlasRuntime> runtime_;
+  std::unique_ptr<lockfree::SkipListMap> skiplist_;
+  std::unique_ptr<maps::Map> map_;
+  bool recovered_ = false;
+  atlas::FullRecoveryResult recovery_;
+};
+
+}  // namespace tsp::workload
+
+#endif  // TSP_WORKLOAD_MAP_SESSION_H_

@@ -1,0 +1,114 @@
+#include "workload/workload.h"
+
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/random.h"
+
+namespace tsp::workload {
+
+WorkloadResult RunMapWorkload(maps::Map* map, const WorkloadOptions& options,
+                              const std::atomic<bool>* stop) {
+  TSP_CHECK_GT(options.threads, 0);
+  TSP_CHECK_GT(options.high_range, 0u);
+
+  std::atomic<std::uint64_t> total_iterations{0};
+  std::atomic<bool> go{false};
+  std::vector<std::thread> threads;
+  threads.reserve(options.threads);
+
+  for (int t = 0; t < options.threads; ++t) {
+    threads.emplace_back([&, t] {
+      Random rng(options.seed * 0x9E3779B97F4A7C15ULL +
+                 static_cast<std::uint64_t>(t));
+      while (!go.load(std::memory_order_acquire)) {
+        std::this_thread::yield();
+      }
+      std::uint64_t done = 0;
+      for (std::uint64_t i = 1;; ++i) {
+        if (stop != nullptr) {
+          if (stop->load(std::memory_order_relaxed)) break;
+        } else if (i > options.iterations_per_thread) {
+          break;
+        }
+        // The three atomic, isolated steps of §5.1.
+        map->Put(C1Key(t), i);
+        map->IncrementBy(HighKey(rng.Uniform(options.high_range)), 1);
+        map->Put(C2Key(t), i);
+        ++done;
+      }
+      total_iterations.fetch_add(done, std::memory_order_relaxed);
+      map->OnThreadExit();
+    });
+  }
+
+  const auto start = std::chrono::steady_clock::now();
+  go.store(true, std::memory_order_release);
+  for (auto& thread : threads) thread.join();
+  const auto end = std::chrono::steady_clock::now();
+
+  WorkloadResult result;
+  result.total_iterations = total_iterations.load();
+  result.seconds = std::chrono::duration<double>(end - start).count();
+  result.millions_iter_per_sec =
+      result.seconds > 0
+          ? static_cast<double>(result.total_iterations) / result.seconds / 1e6
+          : 0;
+  return result;
+}
+
+std::string InvariantReport::ToString() const {
+  std::string out = ok ? "OK" : ("VIOLATION: " + error);
+  out += " (sum_c1=" + std::to_string(sum_c1);
+  out += " sum_c2=" + std::to_string(sum_c2);
+  out += " sum_high=" + std::to_string(sum_high) + ")";
+  return out;
+}
+
+InvariantReport CheckMapInvariants(const maps::Map& map, int threads) {
+  InvariantReport report;
+  std::vector<std::uint64_t> c1(threads, 0), c2(threads, 0);
+  std::uint64_t sum_high = 0;
+
+  map.ForEach([&](std::uint64_t key, std::uint64_t value) {
+    if (key >= kHighKeyBase) {
+      sum_high += value;
+    } else if (key < static_cast<std::uint64_t>(threads) * 2) {
+      if (key % 2 == 0) {
+        c1[key / 2] = value;
+      } else {
+        c2[key / 2] = value;
+      }
+    }
+  });
+
+  for (int t = 0; t < threads; ++t) {
+    report.sum_c1 += c1[t];
+    report.sum_c2 += c2[t];
+    // Per-thread strengthening of Eq. (1).
+    if (c1[t] < c2[t] || c1[t] - c2[t] > 1) {
+      report.error = "thread " + std::to_string(t) + ": c1=" +
+                     std::to_string(c1[t]) + " c2=" + std::to_string(c2[t]);
+      return report;
+    }
+  }
+  report.sum_high = sum_high;
+  report.completed_iterations = report.sum_c2;
+
+  // Eq. (1): Σc1 − Σc2 ≤ T (non-negativity follows per thread).
+  if (report.sum_c1 - report.sum_c2 > static_cast<std::uint64_t>(threads)) {
+    report.error = "Eq.(1) violated";
+    return report;
+  }
+  // Eq. (2): Σc1 ≥ Σ_H ≥ Σc2.
+  if (report.sum_c1 < sum_high || sum_high < report.sum_c2) {
+    report.error = "Eq.(2) violated";
+    return report;
+  }
+  report.ok = true;
+  return report;
+}
+
+}  // namespace tsp::workload

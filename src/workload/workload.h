@@ -1,0 +1,89 @@
+// Copyright 2026 The TSP Authors.
+// The paper's §5.1 experimental workload and integrity invariants.
+//
+// "We divide the key space into a small lower range L used for
+// integrity checks and the remaining much larger higher range H. Each
+// thread t maintains in the map two private counters indexed with keys
+// c1,t and c2,t in L. Iteration i of the main loop of each worker
+// thread performs three steps as atomic and isolated operations: it
+// first sets the value associated with c1,t to i, then increments the
+// value associated with a key drawn with uniform probability from H,
+// then sets the value associated with c2,t to i."
+//
+// Invariants (checked by recovery after fault injection):
+//   Eq. (1):  0 ≤ Σ c1,t − Σ c2,t ≤ T
+//   Eq. (2):  Σ c1,t ≥ Σ_{k∈H} map[k] ≥ Σ c2,t
+
+#ifndef TSP_WORKLOAD_WORKLOAD_H_
+#define TSP_WORKLOAD_WORKLOAD_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "maps/map_interface.h"
+
+namespace tsp::workload {
+
+/// Key-space layout: per-thread counters live in L = [0, 2T); the
+/// contended range H starts at kHighKeyBase.
+inline constexpr std::uint64_t kHighKeyBase = 1 << 20;
+
+constexpr std::uint64_t C1Key(int thread) {
+  return static_cast<std::uint64_t>(thread) * 2;
+}
+constexpr std::uint64_t C2Key(int thread) {
+  return static_cast<std::uint64_t>(thread) * 2 + 1;
+}
+constexpr std::uint64_t HighKey(std::uint64_t index) {
+  return kHighKeyBase + index;
+}
+
+struct WorkloadOptions {
+  /// Worker threads T (the paper reports 8).
+  int threads = 8;
+  /// |H|: number of distinct contended keys.
+  std::uint64_t high_range = 1 << 16;
+  /// Iterations per thread; ignored when `stop` is provided to
+  /// RunMapWorkload (threads then run until stopped/killed).
+  std::uint64_t iterations_per_thread = 100000;
+  /// PRNG seed (each thread derives its own stream).
+  std::uint64_t seed = 1;
+};
+
+struct WorkloadResult {
+  std::uint64_t total_iterations = 0;
+  double seconds = 0;
+  /// The paper's metric: total worker iterations per second, in
+  /// millions (each iteration = three atomic map operations).
+  double millions_iter_per_sec = 0;
+};
+
+/// Runs the workload on `map` with T worker threads. When `stop` is
+/// non-null the iteration budget is unlimited and threads run until
+/// *stop becomes true (or the process is killed — the fault-injection
+/// mode). Threads call map->OnThreadExit() before joining.
+WorkloadResult RunMapWorkload(maps::Map* map, const WorkloadOptions& options,
+                              const std::atomic<bool>* stop = nullptr);
+
+/// Result of checking Eq. (1) and Eq. (2) over a quiesced map.
+struct InvariantReport {
+  bool ok = false;
+  std::uint64_t sum_c1 = 0;
+  std::uint64_t sum_c2 = 0;
+  std::uint64_t sum_high = 0;
+  /// Completed iterations per the strongest lower bound (Σ c2).
+  std::uint64_t completed_iterations = 0;
+  std::string error;  // empty when ok
+
+  std::string ToString() const;
+};
+
+/// Traverses `map` and verifies the §5.1 invariants for `threads`
+/// workers (also enforces the per-thread strengthening
+/// 0 ≤ c1,t − c2,t ≤ 1).
+InvariantReport CheckMapInvariants(const maps::Map& map, int threads);
+
+}  // namespace tsp::workload
+
+#endif  // TSP_WORKLOAD_WORKLOAD_H_

@@ -1,0 +1,70 @@
+#include "atlas/address_set.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/random.h"
+
+namespace tsp::atlas {
+namespace {
+
+TEST(AddressSetTest, FirstInsertIsNew) {
+  AddressSet set;
+  EXPECT_TRUE(set.InsertIfAbsent(0x1000));
+  EXPECT_FALSE(set.InsertIfAbsent(0x1000));
+  EXPECT_TRUE(set.InsertIfAbsent(0x1008));
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(AddressSetTest, NewEpochClears) {
+  AddressSet set;
+  EXPECT_TRUE(set.InsertIfAbsent(0x2000));
+  set.NewEpoch();
+  EXPECT_EQ(set.size(), 0u);
+  EXPECT_TRUE(set.InsertIfAbsent(0x2000));
+}
+
+TEST(AddressSetTest, GrowsBeyondInitialCapacity) {
+  AddressSet set;
+  const std::size_t initial = set.capacity();
+  for (std::uint64_t i = 0; i < 10000; ++i) {
+    EXPECT_TRUE(set.InsertIfAbsent(0x10000 + i * 8));
+  }
+  EXPECT_EQ(set.size(), 10000u);
+  EXPECT_GT(set.capacity(), initial);
+  // All still present after growth.
+  for (std::uint64_t i = 0; i < 10000; ++i) {
+    EXPECT_FALSE(set.InsertIfAbsent(0x10000 + i * 8));
+  }
+}
+
+TEST(AddressSetTest, SurvivesManyEpochsWithoutGrowth) {
+  AddressSet set;
+  for (int epoch = 0; epoch < 1000; ++epoch) {
+    set.NewEpoch();
+    for (std::uint64_t i = 0; i < 50; ++i) {
+      EXPECT_TRUE(set.InsertIfAbsent(0x100 + i * 8));
+    }
+  }
+  // Epoch clearing is O(1): capacity stays small for small epochs.
+  EXPECT_LE(set.capacity(), 512u);
+}
+
+TEST(AddressSetTest, RandomizedAgainstReference) {
+  tsp::Random rng(2026);
+  AddressSet set;
+  for (int epoch = 0; epoch < 20; ++epoch) {
+    set.NewEpoch();
+    std::set<std::uint64_t> reference;
+    for (int i = 0; i < 2000; ++i) {
+      const std::uint64_t key = rng.Uniform(1024) * 8;
+      const bool expected_new = reference.insert(key).second;
+      EXPECT_EQ(set.InsertIfAbsent(key), expected_new);
+    }
+    EXPECT_EQ(set.size(), reference.size());
+  }
+}
+
+}  // namespace
+}  // namespace tsp::atlas

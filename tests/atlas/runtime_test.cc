@@ -1,0 +1,365 @@
+#include "atlas/runtime.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "atlas/pmutex.h"
+#include "common/flush.h"
+#include "pheap/test_util.h"
+
+namespace tsp::atlas {
+namespace {
+
+using pheap::testing::ScopedRegionFile;
+using pheap::testing::UniqueBaseAddress;
+
+pheap::RegionOptions SmallOptions(std::uintptr_t base,
+                                  std::size_t runtime_kb = 2048) {
+  pheap::RegionOptions options;
+  options.size = 32 * 1024 * 1024;
+  options.base_address = base;
+  options.runtime_area_size = runtime_kb * 1024;
+  return options;
+}
+
+// Collects the kinds of all entries ever appended to a thread's ring
+// (including trimmed ones — commit trims stable OCSes immediately, but
+// the bytes remain until the ring wraps). Only valid while total
+// appends < ring capacity.
+std::vector<EntryKind> RingKinds(const AtlasRuntime& runtime,
+                                 std::uint16_t thread_id) {
+  const AtlasArea& area = runtime.area();
+  const ThreadLogHeader* slot = area.slot(thread_id);
+  std::vector<EntryKind> kinds;
+  for (std::uint64_t i = 0; i < slot->tail.load(); ++i) {
+    kinds.push_back(area.entry(thread_id, i)->kind);
+  }
+  return kinds;
+}
+
+std::size_t CountKind(const std::vector<EntryKind>& kinds, EntryKind kind) {
+  std::size_t n = 0;
+  for (EntryKind k : kinds) {
+    if (k == kind) ++n;
+  }
+  return n;
+}
+
+class AtlasRuntimeTest : public ::testing::Test {
+ protected:
+  void SetUp() override { Recreate(PersistencePolicy::TspLogOnly()); }
+
+  void Recreate(PersistencePolicy policy, std::size_t runtime_kb = 2048) {
+    runtime_.reset();
+    heap_.reset();
+    file_ = std::make_unique<ScopedRegionFile>("atlasrt");
+    auto heap = pheap::PersistentHeap::Create(
+        file_->path(), SmallOptions(UniqueBaseAddress(), runtime_kb));
+    ASSERT_TRUE(heap.ok()) << heap.status().ToString();
+    heap_ = std::move(*heap);
+    AtlasRuntime::Options options;
+    options.prune_interval_us = 0;  // deterministic tests prune manually
+    runtime_ = std::make_unique<AtlasRuntime>(heap_.get(), policy, options);
+    ASSERT_TRUE(runtime_->Initialize().ok());
+  }
+
+  std::unique_ptr<ScopedRegionFile> file_;
+  std::unique_ptr<pheap::PersistentHeap> heap_;
+  std::unique_ptr<AtlasRuntime> runtime_;
+};
+
+TEST_F(AtlasRuntimeTest, StoreOutsideOcsIsNotLogged) {
+  auto* value = static_cast<std::uint64_t*>(heap_->Alloc(8));
+  AtlasThread* thread = runtime_->CurrentThread();
+  thread->Store(value, std::uint64_t{42});
+  EXPECT_EQ(*value, 42u);
+  EXPECT_TRUE(RingKinds(*runtime_, thread->thread_id()).empty());
+  runtime_->UnregisterCurrentThread();
+}
+
+TEST_F(AtlasRuntimeTest, OcsLogsAcquireStoreRelease) {
+  auto* value = static_cast<std::uint64_t*>(heap_->Alloc(8));
+  *value = 1;
+  PMutex mutex(runtime_.get());
+  AtlasThread* thread = runtime_->CurrentThread();
+  {
+    PMutexLock lock(&mutex);
+    EXPECT_TRUE(thread->in_ocs());
+    thread->Store(value, std::uint64_t{2});
+  }
+  EXPECT_FALSE(thread->in_ocs());
+  EXPECT_EQ(*value, 2u);
+
+  const std::vector<EntryKind> kinds =
+      RingKinds(*runtime_, thread->thread_id());
+  ASSERT_EQ(kinds.size(), 3u);
+  EXPECT_EQ(kinds[0], EntryKind::kAcquire);
+  EXPECT_EQ(kinds[1], EntryKind::kStore);
+  EXPECT_EQ(kinds[2], EntryKind::kRelease);
+  runtime_->UnregisterCurrentThread();
+}
+
+TEST_F(AtlasRuntimeTest, FirstStorePerLocationPerOcs) {
+  auto* value = static_cast<std::uint64_t*>(heap_->Alloc(8));
+  PMutex mutex(runtime_.get());
+  AtlasThread* thread = runtime_->CurrentThread();
+  {
+    PMutexLock lock(&mutex);
+    for (std::uint64_t i = 0; i < 100; ++i) thread->Store(value, i);
+  }
+  EXPECT_EQ(CountKind(RingKinds(*runtime_, thread->thread_id()),
+                      EntryKind::kStore),
+            1u)
+      << "only the first store to a location per OCS is logged";
+
+  // A new OCS logs the location again.
+  {
+    PMutexLock lock(&mutex);
+    thread->Store(value, std::uint64_t{7});
+  }
+  EXPECT_EQ(CountKind(RingKinds(*runtime_, thread->thread_id()),
+                      EntryKind::kStore),
+            2u);
+  runtime_->UnregisterCurrentThread();
+}
+
+TEST_F(AtlasRuntimeTest, UndoEntryCarriesOldValue) {
+  auto* value = static_cast<std::uint64_t*>(heap_->Alloc(8));
+  *value = 0xDEAD;
+  PMutex mutex(runtime_.get());
+  AtlasThread* thread = runtime_->CurrentThread();
+  {
+    PMutexLock lock(&mutex);
+    thread->Store(value, std::uint64_t{0xBEEF});
+  }
+  const AtlasArea& area = runtime_->area();
+  const ThreadLogHeader* slot = area.slot(thread->thread_id());
+  bool found = false;
+  for (std::uint64_t i = 0; i < slot->tail.load(); ++i) {
+    const LogEntry* entry = area.entry(thread->thread_id(), i);
+    if (entry->kind != EntryKind::kStore) continue;
+    EXPECT_EQ(entry->payload, 0xDEADu);
+    EXPECT_EQ(entry->size, 8);
+    EXPECT_EQ(entry->addr_offset, heap_->region()->ToOffset(value));
+    found = true;
+  }
+  EXPECT_TRUE(found);
+  runtime_->UnregisterCurrentThread();
+}
+
+TEST_F(AtlasRuntimeTest, TspModeIssuesZeroFlushes) {
+  GlobalFlushStats().Reset();
+  auto* value = static_cast<std::uint64_t*>(heap_->Alloc(8));
+  PMutex mutex(runtime_.get());
+  AtlasThread* thread = runtime_->CurrentThread();
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    PMutexLock lock(&mutex);
+    thread->Store(value, i);
+  }
+  EXPECT_EQ(GlobalFlushStats().lines_flushed.load(), 0u)
+      << "TSP log-only mode must never flush";
+  EXPECT_EQ(GlobalFlushStats().fences.load(), 0u);
+  runtime_->UnregisterCurrentThread();
+}
+
+TEST_F(AtlasRuntimeTest, SyncFlushModeFlushesEveryEntry) {
+  Recreate(PersistencePolicy::SyncFlush(FlushInstruction::kClflush));
+  GlobalFlushStats().Reset();
+  auto* value = static_cast<std::uint64_t*>(heap_->Alloc(8));
+  PMutex mutex(runtime_.get());
+  AtlasThread* thread = runtime_->CurrentThread();
+  {
+    PMutexLock lock(&mutex);
+    thread->Store(value, std::uint64_t{1});
+  }
+  // 3 entries (acquire/store/release), one line flush each; only the
+  // undo record is fenced (it must be durable before its guarded
+  // store), control entries ride on later fences.
+  EXPECT_EQ(GlobalFlushStats().lines_flushed.load(), 3u);
+  EXPECT_EQ(GlobalFlushStats().fences.load(), 1u);
+  runtime_->UnregisterCurrentThread();
+}
+
+TEST_F(AtlasRuntimeTest, StoreBytesSplitsLargeRanges) {
+  auto* blob = static_cast<char*>(heap_->Alloc(64));
+  std::memset(blob, 0, 64);
+  PMutex mutex(runtime_.get());
+  AtlasThread* thread = runtime_->CurrentThread();
+  char data[20];
+  for (int i = 0; i < 20; ++i) data[i] = static_cast<char>(i + 1);
+  {
+    PMutexLock lock(&mutex);
+    thread->StoreBytes(blob, data, 20);
+  }
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(blob[i], static_cast<char>(i + 1));
+  // 20 bytes = 8+8+4 → 3 undo entries.
+  EXPECT_EQ(CountKind(RingKinds(*runtime_, thread->thread_id()),
+                      EntryKind::kStore),
+            3u);
+  runtime_->UnregisterCurrentThread();
+}
+
+TEST_F(AtlasRuntimeTest, IndependentOcsesTrimAtCommit) {
+  // A single-threaded sequence of dependency-free OCSes takes the
+  // commit fast path: each OCS is immediately stable and the ring never
+  // accumulates (no pruner involvement at all).
+  auto* value = static_cast<std::uint64_t*>(heap_->Alloc(8));
+  PMutex mutex(runtime_.get());
+  AtlasThread* thread = runtime_->CurrentThread();
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    PMutexLock lock(&mutex);
+    thread->Store(value, i);
+  }
+  EXPECT_EQ(runtime_->stability()->PendingCount(), 0u);
+  const ThreadLogHeader* slot =
+      runtime_->area().slot(thread->thread_id());
+  EXPECT_EQ(slot->head.load(), slot->tail.load()) << "ring fully trimmed";
+  EXPECT_EQ(slot->stable_ocs.load(), slot->committed_ocs.load());
+  runtime_->UnregisterCurrentThread();
+}
+
+TEST_F(AtlasRuntimeTest, DependentOcsNotTrimmedWhileDependeeOpen) {
+  // Thread contexts driven manually for a deterministic interleaving.
+  AtlasThread a(runtime_.get(), 10);
+  AtlasThread b(runtime_.get(), 11);
+  auto* x = static_cast<std::uint64_t*>(heap_->Alloc(8));
+  auto* y = static_cast<std::uint64_t*>(heap_->Alloc(8));
+  std::atomic<std::uint64_t> outer_word{0}, shared_word{0};
+
+  a.OnAcquire(&outer_word, 1);   // A's OCS opens
+  a.OnAcquire(&shared_word, 2);  // nested
+  a.Store(x, std::uint64_t{1});
+  a.OnRelease(&shared_word, 2);  // inner release: A still open
+
+  b.OnAcquire(&shared_word, 2);  // B depends on open A
+  b.Store(y, std::uint64_t{2});
+  b.OnRelease(&shared_word, 2);  // B commits
+
+  runtime_->StabilizeNow();
+  EXPECT_EQ(runtime_->stability()->PendingCount(), 1u)
+      << "B stays unstable while A is open";
+  EXPECT_EQ(runtime_->area().slot(11)->stable_ocs.load(), 0u);
+
+  a.OnRelease(&outer_word, 1);  // A commits
+  runtime_->StabilizeNow();
+  EXPECT_EQ(runtime_->stability()->PendingCount(), 0u);
+  EXPECT_GT(runtime_->area().slot(11)->stable_ocs.load(), 0u);
+}
+
+TEST_F(AtlasRuntimeTest, CommittedDependencyCycleStabilizes) {
+  // X and D each acquire a lock the other released while both were
+  // open: a committed dependency cycle. The global fixed point must
+  // still classify both as stable (neither can roll back).
+  AtlasThread x(runtime_.get(), 12);
+  AtlasThread d(runtime_.get(), 13);
+  auto* vx = static_cast<std::uint64_t*>(heap_->Alloc(8));
+  auto* vd = static_cast<std::uint64_t*>(heap_->Alloc(8));
+  std::atomic<std::uint64_t> ox{0}, od{0}, l1{0}, l2{0};
+
+  x.OnAcquire(&ox, 1);  // X opens
+  d.OnAcquire(&od, 2);  // D opens
+  x.OnAcquire(&l1, 3);
+  x.Store(vx, std::uint64_t{1});
+  x.OnRelease(&l1, 3);  // X releases l1 (inner)
+  d.OnAcquire(&l2, 4);
+  d.Store(vd, std::uint64_t{2});
+  d.OnRelease(&l2, 4);  // D releases l2 (inner)
+  d.OnAcquire(&l1, 3);  // D ← X
+  d.OnRelease(&l1, 3);
+  x.OnAcquire(&l2, 4);  // X ← D
+  x.OnRelease(&l2, 4);
+  x.OnRelease(&ox, 1);  // X commits
+  d.OnRelease(&od, 2);  // D commits
+
+  runtime_->StabilizeNow();
+  EXPECT_EQ(runtime_->stability()->PendingCount(), 0u)
+      << "a committed cycle with no open entry point is jointly stable";
+}
+
+TEST_F(AtlasRuntimeTest, RingWrapsUnderPruning) {
+  Recreate(PersistencePolicy::TspLogOnly(), /*runtime_kb=*/192);
+  const std::uint64_t capacity = runtime_->area().entries_per_thread();
+  ASSERT_LT(capacity, 1000u) << "test needs a small ring";
+  auto* value = static_cast<std::uint64_t*>(heap_->Alloc(8));
+  PMutex mutex(runtime_.get());
+  AtlasThread* thread = runtime_->CurrentThread();
+  // Far more entries than the ring holds; inline pruning must keep us
+  // going (5 entries per OCS).
+  for (std::uint64_t i = 0; i < capacity; ++i) {
+    PMutexLock lock(&mutex);
+    thread->Store(value, i);
+  }
+  EXPECT_EQ(*value, capacity - 1);
+  runtime_->UnregisterCurrentThread();
+}
+
+TEST_F(AtlasRuntimeTest, InitializeFailsOnUncleanHeap) {
+  // Simulate: heap closed without CloseClean, then reopened.
+  const std::string path = file_->path();
+  runtime_.reset();
+  heap_.reset();  // unclean close
+  auto reopened = pheap::PersistentHeap::Open(path);
+  ASSERT_TRUE(reopened.ok());
+  ASSERT_TRUE((*reopened)->needs_recovery());
+  AtlasRuntime runtime(reopened->get(), PersistencePolicy::TspLogOnly());
+  EXPECT_EQ(runtime.Initialize().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(AtlasRuntimeTest, ThreadsGetDistinctSlots) {
+  constexpr int kThreads = 8;
+  std::vector<std::uint16_t> ids(kThreads, 0xFFFF);
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([this, i, &ids] {
+      AtlasThread* thread = runtime_->CurrentThread();
+      ids[i] = thread->thread_id();
+      EXPECT_EQ(runtime_->CurrentThread(), thread) << "TLS caching";
+      runtime_->UnregisterCurrentThread();
+    });
+    threads.back().join();  // sequential: slots are recycled
+  }
+  for (int i = 0; i < kThreads; ++i) EXPECT_EQ(ids[i], 0u);
+
+  // Concurrent registration yields distinct slots.
+  std::vector<std::uint16_t> concurrent_ids(kThreads, 0xFFFF);
+  threads.clear();
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([this, i, &concurrent_ids] {
+      concurrent_ids[i] = runtime_->CurrentThread()->thread_id();
+    });
+  }
+  for (auto& t : threads) t.join();
+  std::sort(concurrent_ids.begin(), concurrent_ids.end());
+  for (int i = 1; i < kThreads; ++i) {
+    EXPECT_NE(concurrent_ids[i - 1], concurrent_ids[i]);
+  }
+}
+
+TEST_F(AtlasRuntimeTest, ConcurrentWorkloadMaintainsValues) {
+  constexpr int kThreads = 4;
+  constexpr std::uint64_t kIterations = 2000;
+  auto* counters =
+      static_cast<std::uint64_t*>(heap_->Alloc(kThreads * 8));
+  std::memset(counters, 0, kThreads * 8);
+  PMutex mutex(runtime_.get());
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([this, t, counters, &mutex] {
+      AtlasThread* thread = runtime_->CurrentThread();
+      for (std::uint64_t i = 1; i <= kIterations; ++i) {
+        PMutexLock lock(&mutex);
+        thread->Store(&counters[t], i);
+      }
+      runtime_->UnregisterCurrentThread();
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(counters[t], kIterations);
+  }
+}
+
+}  // namespace
+}  // namespace tsp::atlas

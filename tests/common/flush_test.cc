@@ -1,0 +1,78 @@
+#include "common/flush.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+namespace tsp {
+namespace {
+
+TEST(FlushTest, ClflushAlwaysSupportedOnX86_64) {
+  EXPECT_TRUE(CpuSupports(FlushInstruction::kClflush));
+  EXPECT_TRUE(CpuSupports(FlushInstruction::kNone));
+}
+
+TEST(FlushTest, BestInstructionIsSupported) {
+  EXPECT_TRUE(CpuSupports(BestFlushInstruction()));
+  EXPECT_NE(BestFlushInstruction(), FlushInstruction::kNone);
+}
+
+TEST(FlushTest, NamesAreStable) {
+  EXPECT_STREQ(FlushInstructionName(FlushInstruction::kNone), "none");
+  EXPECT_STREQ(FlushInstructionName(FlushInstruction::kClflush), "clflush");
+  EXPECT_STREQ(FlushInstructionName(FlushInstruction::kClflushopt),
+               "clflushopt");
+  EXPECT_STREQ(FlushInstructionName(FlushInstruction::kClwb), "clwb");
+}
+
+TEST(FlushTest, FlushRangeDataIntact) {
+  // Flushing must never alter data (clflush evicts, clwb writes back).
+  alignas(64) char buf[512];
+  for (int i = 0; i < 512; ++i) buf[i] = static_cast<char>(i * 7);
+  for (FlushInstruction insn :
+       {FlushInstruction::kClflush, FlushInstruction::kClflushopt,
+        FlushInstruction::kClwb}) {
+    if (!CpuSupports(insn)) continue;
+    FlushRange(buf, sizeof(buf), insn);
+    for (int i = 0; i < 512; ++i) {
+      ASSERT_EQ(buf[i], static_cast<char>(i * 7));
+    }
+  }
+}
+
+TEST(FlushTest, StatsCountLinesAndFences) {
+  GlobalFlushStats().Reset();
+  alignas(64) char buf[256];
+  std::memset(buf, 0, sizeof(buf));
+  FlushRange(buf, 256, FlushInstruction::kClflush);
+  // 256 bytes aligned to a line boundary = 4 lines, one trailing fence.
+  EXPECT_EQ(GlobalFlushStats().lines_flushed.load(), 4u);
+  EXPECT_EQ(GlobalFlushStats().fences.load(), 1u);
+}
+
+TEST(FlushTest, UnalignedRangeCoversStraddledLines) {
+  GlobalFlushStats().Reset();
+  alignas(64) char buf[256];
+  // 2 bytes straddling a line boundary → 2 lines.
+  FlushRange(buf + 63, 2, FlushInstruction::kClflush);
+  EXPECT_EQ(GlobalFlushStats().lines_flushed.load(), 2u);
+}
+
+TEST(FlushTest, NoneModeFlushesNothing) {
+  GlobalFlushStats().Reset();
+  alignas(64) char buf[256];
+  FlushRange(buf, sizeof(buf), FlushInstruction::kNone);
+  EXPECT_EQ(GlobalFlushStats().lines_flushed.load(), 0u);
+  EXPECT_EQ(GlobalFlushStats().fences.load(), 0u);
+}
+
+TEST(FlushTest, ZeroLengthRangeIsNoop) {
+  GlobalFlushStats().Reset();
+  alignas(64) char buf[64];
+  FlushRange(buf, 0, FlushInstruction::kClflush);
+  EXPECT_EQ(GlobalFlushStats().lines_flushed.load(), 0u);
+}
+
+}  // namespace
+}  // namespace tsp

@@ -1,0 +1,131 @@
+#include "core/failure_model.h"
+
+#include <gtest/gtest.h>
+
+namespace tsp {
+namespace {
+
+TEST(FailureSetTest, BasicSetOperations) {
+  FailureSet s = FailureSet::Of(FailureClass::kProcessCrash);
+  EXPECT_TRUE(s.Contains(FailureClass::kProcessCrash));
+  EXPECT_FALSE(s.Contains(FailureClass::kKernelPanic));
+  EXPECT_FALSE(s.empty());
+  EXPECT_TRUE(FailureSet::None().empty());
+
+  FailureSet all = FailureSet::All();
+  EXPECT_TRUE(all.Contains(FailureClass::kProcessCrash));
+  EXPECT_TRUE(all.Contains(FailureClass::kKernelPanic));
+  EXPECT_TRUE(all.Contains(FailureClass::kPowerOutage));
+}
+
+TEST(FailureSetTest, OperatorPipeComposes) {
+  FailureSet s = FailureClass::kProcessCrash | FailureClass::kPowerOutage;
+  EXPECT_TRUE(s.Contains(FailureClass::kProcessCrash));
+  EXPECT_TRUE(s.Contains(FailureClass::kPowerOutage));
+  EXPECT_FALSE(s.Contains(FailureClass::kKernelPanic));
+}
+
+TEST(FailureSetTest, ToStringListsClasses) {
+  EXPECT_EQ(FailureSet::None().ToString(), "{}");
+  EXPECT_EQ(FailureSet::Of(FailureClass::kKernelPanic).ToString(),
+            "{kernel-panic}");
+  EXPECT_EQ(FailureSet::All().ToString(),
+            "{process-crash, kernel-panic, power-outage}");
+}
+
+// --- the paper's central observation (§3, Appendix A): kernel-persistent
+// memory is safe w.r.t. process crashes on any hardware, even though it
+// is volatile DRAM. Safety is relative to the failure set.
+TEST(SafetyTest, KernelDramSafeForProcessCrashOnConventionalHardware) {
+  const HardwareProfile hw = HardwareProfile::ConventionalServer();
+  EXPECT_TRUE(IsSafe(Location::kKernelDram,
+                     FailureSet::Of(FailureClass::kProcessCrash), hw));
+  // ... including dirty cache lines over such memory (Appendix A).
+  EXPECT_TRUE(IsSafe(Location::kCpuCache,
+                     FailureSet::Of(FailureClass::kProcessCrash), hw));
+}
+
+TEST(SafetyTest, PrivateDramNeverSafeForProcessCrash) {
+  for (const HardwareProfile& hw :
+       {HardwareProfile::ConventionalServer(), HardwareProfile::NvdimmServer(),
+        HardwareProfile::WspMachine()}) {
+    EXPECT_FALSE(IsSafe(Location::kPrivateDram,
+                        FailureSet::Of(FailureClass::kProcessCrash), hw));
+  }
+}
+
+TEST(SafetyTest, KernelDramNotSafeForPowerOutageWithoutNvm) {
+  const HardwareProfile hw = HardwareProfile::ConventionalServer();
+  EXPECT_FALSE(IsSafe(Location::kKernelDram,
+                      FailureSet::Of(FailureClass::kPowerOutage), hw));
+  EXPECT_TRUE(IsSafe(Location::kKernelDram,
+                     FailureSet::Of(FailureClass::kPowerOutage),
+                     HardwareProfile::NvramMachine()));
+}
+
+TEST(SafetyTest, CachedDataNotSafeForPowerOutageEvenWithNvm) {
+  // NVM protects memory, not the volatile CPU cache above it.
+  EXPECT_FALSE(IsSafe(Location::kCpuCache,
+                      FailureSet::Of(FailureClass::kPowerOutage),
+                      HardwareProfile::NvramMachine()));
+  // WSP-style standby energy rescues the cache.
+  EXPECT_TRUE(IsSafe(Location::kCpuCache,
+                     FailureSet::Of(FailureClass::kPowerOutage),
+                     HardwareProfile::WspMachine()));
+}
+
+TEST(SafetyTest, KernelPanicNeedsPanicFlushForCachedData) {
+  HardwareProfile hw = HardwareProfile::NvramMachine();
+  EXPECT_FALSE(IsSafe(Location::kCpuCache,
+                      FailureSet::Of(FailureClass::kKernelPanic), hw));
+  hw.panic_handler_flushes_caches = true;
+  EXPECT_TRUE(IsSafe(Location::kCpuCache,
+                     FailureSet::Of(FailureClass::kKernelPanic), hw));
+}
+
+TEST(SafetyTest, NvmAndStorageSafeForEverything) {
+  const HardwareProfile hw = HardwareProfile::ConventionalServer();
+  EXPECT_TRUE(IsSafe(Location::kNvm, FailureSet::All(), hw));
+  EXPECT_TRUE(IsSafe(Location::kBlockStorage, FailureSet::All(), hw));
+}
+
+TEST(SafetyTest, RegistersOnlyRescuableByStandbyEnergy) {
+  EXPECT_FALSE(IsSafe(Location::kCpuRegisters,
+                      FailureSet::Of(FailureClass::kProcessCrash),
+                      HardwareProfile::WspMachine()));
+  EXPECT_TRUE(IsSafe(Location::kCpuRegisters,
+                     FailureSet::Of(FailureClass::kPowerOutage),
+                     HardwareProfile::WspMachine()));
+  EXPECT_FALSE(IsSafe(Location::kCpuRegisters,
+                      FailureSet::Of(FailureClass::kPowerOutage),
+                      HardwareProfile::ConventionalServer()));
+}
+
+TEST(SafetyTest, SafetyIsMonotoneInFailureSet) {
+  // If a location is safe for a set, it is safe for every subset.
+  for (const HardwareProfile& hw :
+       {HardwareProfile::ConventionalServer(), HardwareProfile::NvdimmServer(),
+        HardwareProfile::NvramMachine(), HardwareProfile::WspMachine()}) {
+    for (Location loc :
+         {Location::kCpuRegisters, Location::kCpuCache, Location::kPrivateDram,
+          Location::kKernelDram, Location::kNvm, Location::kBlockStorage}) {
+      if (IsSafe(loc, FailureSet::All(), hw)) {
+        for (FailureClass c :
+             {FailureClass::kProcessCrash, FailureClass::kKernelPanic,
+              FailureClass::kPowerOutage}) {
+          EXPECT_TRUE(IsSafe(loc, FailureSet::Of(c), hw))
+              << LocationName(loc) << " under " << FailureSet::Of(c).ToString();
+        }
+      }
+    }
+  }
+}
+
+TEST(LocationTest, NamesAreStable) {
+  EXPECT_STREQ(LocationName(Location::kCpuCache), "cpu-cache");
+  EXPECT_STREQ(LocationName(Location::kKernelDram), "kernel-dram");
+  EXPECT_STREQ(LocationName(Location::kNvm), "nvm");
+}
+
+}  // namespace
+}  // namespace tsp

@@ -1,0 +1,114 @@
+// The paper's §5 fault-injection experiment (E2): SIGKILL a worker
+// process mid-workload, recover, and verify Equations (1) and (2).
+// "Both our mutex-based and non-blocking map implementations recovered
+// completely successfully after hundreds of injected process crashes."
+// The full hundreds-of-crashes run lives in examples/crash_torture;
+// these tests run enough cycles per variant to exercise every recovery
+// path (incomplete OCSes, cascades, GC) while staying fast.
+
+#include "faultsim/crash_harness.h"
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+
+#include "pheap/test_util.h"
+
+namespace tsp::faultsim {
+namespace {
+
+using pheap::testing::ScopedRegionFile;
+using pheap::testing::UniqueBaseAddress;
+using workload::MapVariant;
+using workload::MapVariantName;
+
+class CrashInjectionTest : public ::testing::TestWithParam<MapVariant> {};
+
+TEST_P(CrashInjectionTest, RecoversConsistentlyAfterRepeatedKills) {
+  ScopedRegionFile file("crash");
+  CrashCycleOptions options;
+  options.session.variant = GetParam();
+  options.session.path = file.path();
+  options.session.heap_size = 256 * 1024 * 1024;
+  options.session.base_address = UniqueBaseAddress();
+  options.session.runtime_area_size = 16 * 1024 * 1024;
+  options.workload.threads = 4;
+  options.workload.high_range = 4096;
+  options.cycles = 6;
+  options.min_run_ms = 15;
+  options.max_run_ms = 80;
+  options.seed = 0xC0FFEE;
+
+  const CrashCycleReport report = RunCrashCycles(options);
+  EXPECT_TRUE(report.all_ok) << report.ToString();
+  EXPECT_EQ(report.cycles_run, options.cycles);
+  EXPECT_GT(report.final_completed_iterations, 0u)
+      << "workers should have made progress before dying";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Variants, CrashInjectionTest,
+    ::testing::Values(MapVariant::kMutexLogOnly, MapVariant::kMutexLogFlush,
+                      MapVariant::kLockFreeSkipList),
+    [](const auto& info) {
+      std::string name = MapVariantName(info.param);
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+// The Atlas variants must actually exercise rollback across the run:
+// with 4 threads being SIGKILLed mid-OCS repeatedly, at least one cycle
+// should interrupt an OCS.
+TEST(CrashInjectionAtlasTest, RollbackPathIsExercised) {
+  ScopedRegionFile file("crash_rollback");
+  CrashCycleOptions options;
+  options.session.variant = MapVariant::kMutexLogOnly;
+  options.session.path = file.path();
+  options.session.heap_size = 256 * 1024 * 1024;
+  options.session.base_address = UniqueBaseAddress();
+  options.session.runtime_area_size = 16 * 1024 * 1024;
+  options.workload.threads = 4;
+  options.workload.high_range = 256;  // high contention
+  options.cycles = 10;
+  options.min_run_ms = 10;
+  options.max_run_ms = 50;
+  options.seed = 7;
+
+  const CrashCycleReport report = RunCrashCycles(options);
+  EXPECT_TRUE(report.all_ok) << report.ToString();
+  EXPECT_GT(report.recoveries_with_rollback, 0)
+      << "no cycle interrupted an OCS; the test is not exercising "
+         "rollback (try more cycles)";
+  // Whether the interrupted OCS had already issued stores depends on
+  // where the scheduler parked each thread (on a single-core host the
+  // kill usually lands just after an acquire), so stores_undone can
+  // legitimately be zero here; the deterministic rollback-content tests
+  // live in atlas/recovery_test.cc.
+}
+
+// The non-blocking variant must recover with zero rollback work — the
+// §4.1 claim that no mechanism beyond TSP is needed.
+TEST(CrashInjectionSkipListTest, RecoveryNeedsNoRollback) {
+  ScopedRegionFile file("crash_nb");
+  CrashCycleOptions options;
+  options.session.variant = MapVariant::kLockFreeSkipList;
+  options.session.path = file.path();
+  options.session.heap_size = 256 * 1024 * 1024;
+  options.session.base_address = UniqueBaseAddress();
+  options.workload.threads = 4;
+  options.workload.high_range = 256;
+  options.cycles = 6;
+  options.min_run_ms = 10;
+  options.max_run_ms = 50;
+  options.seed = 13;
+
+  const CrashCycleReport report = RunCrashCycles(options);
+  EXPECT_TRUE(report.all_ok) << report.ToString();
+  EXPECT_EQ(report.total_stores_undone, 0u);
+  EXPECT_EQ(report.total_ocses_rolled_back, 0u);
+}
+
+}  // namespace
+}  // namespace tsp::faultsim

@@ -1,0 +1,319 @@
+#include "lockfree/skiplist.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <thread>
+#include <vector>
+
+#include "common/flush.h"
+#include "common/random.h"
+#include "pheap/test_util.h"
+
+namespace tsp::lockfree {
+namespace {
+
+using pheap::testing::ScopedRegionFile;
+using pheap::testing::UniqueBaseAddress;
+
+class SkipListTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    file_ = std::make_unique<ScopedRegionFile>("skiplist");
+    base_ = UniqueBaseAddress();
+    pheap::RegionOptions options;
+    options.size = 128 * 1024 * 1024;
+    options.base_address = base_;
+    options.runtime_area_size = 1 * 1024 * 1024;
+    auto heap = pheap::PersistentHeap::Create(file_->path(), options);
+    ASSERT_TRUE(heap.ok()) << heap.status().ToString();
+    heap_ = std::move(*heap);
+    SkipListRoot* root = SkipListMap::CreateRoot(heap_.get());
+    ASSERT_NE(root, nullptr);
+    heap_->set_root(root);
+    map_ = std::make_unique<SkipListMap>(heap_.get(), root);
+  }
+
+  void TearDown() override {
+    map_.reset();
+    heap_.reset();
+  }
+
+  std::unique_ptr<ScopedRegionFile> file_;
+  std::uintptr_t base_ = 0;
+  std::unique_ptr<pheap::PersistentHeap> heap_;
+  std::unique_ptr<SkipListMap> map_;
+};
+
+TEST_F(SkipListTest, InsertGetBasics) {
+  EXPECT_FALSE(map_->Get(5).has_value());
+  EXPECT_TRUE(map_->Insert(5, 50));
+  EXPECT_FALSE(map_->Insert(5, 99)) << "duplicate insert rejected";
+  EXPECT_EQ(map_->Get(5), 50u);
+  EXPECT_EQ(map_->size(), 1u);
+  map_->epoch()->UnregisterCurrentThread();
+}
+
+TEST_F(SkipListTest, PutUpserts) {
+  EXPECT_TRUE(map_->Put(7, 70));
+  EXPECT_FALSE(map_->Put(7, 71));
+  EXPECT_EQ(map_->Get(7), 71u);
+  map_->epoch()->UnregisterCurrentThread();
+}
+
+TEST_F(SkipListTest, IncrementByUpsertsAndAdds) {
+  EXPECT_EQ(map_->IncrementBy(3, 10), 10u);
+  EXPECT_EQ(map_->IncrementBy(3, 5), 15u);
+  EXPECT_EQ(map_->Get(3), 15u);
+  map_->epoch()->UnregisterCurrentThread();
+}
+
+TEST_F(SkipListTest, RemoveDeletes) {
+  EXPECT_FALSE(map_->Remove(9));
+  map_->Insert(9, 90);
+  EXPECT_TRUE(map_->Remove(9));
+  EXPECT_FALSE(map_->Get(9).has_value());
+  EXPECT_FALSE(map_->Remove(9));
+  EXPECT_EQ(map_->size(), 0u);
+  // Reinsertion works after removal.
+  EXPECT_TRUE(map_->Insert(9, 91));
+  EXPECT_EQ(map_->Get(9), 91u);
+  map_->epoch()->UnregisterCurrentThread();
+}
+
+TEST_F(SkipListTest, OrderedIteration) {
+  const std::uint64_t keys[] = {42, 7, 19, 3, 100, 55};
+  for (std::uint64_t k : keys) map_->Insert(k, k * 10);
+  std::vector<std::uint64_t> seen;
+  map_->ForEach([&](std::uint64_t k, std::uint64_t v) {
+    seen.push_back(k);
+    EXPECT_EQ(v, k * 10);
+  });
+  const std::vector<std::uint64_t> expected = {3, 7, 19, 42, 55, 100};
+  EXPECT_EQ(seen, expected);
+  map_->Validate(/*expect_no_marks=*/true);
+  map_->epoch()->UnregisterCurrentThread();
+}
+
+TEST_F(SkipListTest, ManySequentialInsertions) {
+  constexpr std::uint64_t kCount = 20000;
+  for (std::uint64_t i = 0; i < kCount; ++i) {
+    ASSERT_TRUE(map_->Insert(i * 2, i));
+  }
+  EXPECT_EQ(map_->size(), kCount);
+  EXPECT_EQ(map_->Validate(true), kCount);
+  for (std::uint64_t i = 0; i < kCount; ++i) {
+    ASSERT_EQ(map_->Get(i * 2), i);
+    ASSERT_FALSE(map_->Get(i * 2 + 1).has_value());
+  }
+  map_->epoch()->UnregisterCurrentThread();
+}
+
+TEST_F(SkipListTest, RandomizedAgainstStdMap) {
+  Random rng(777);
+  std::map<std::uint64_t, std::uint64_t> reference;
+  for (int i = 0; i < 30000; ++i) {
+    const std::uint64_t key = rng.Uniform(500) + 1;
+    switch (rng.Uniform(4)) {
+      case 0: {  // insert
+        const std::uint64_t value = rng.Next();
+        const bool inserted = map_->Insert(key, value);
+        EXPECT_EQ(inserted, reference.emplace(key, value).second);
+        break;
+      }
+      case 1: {  // put
+        const std::uint64_t value = rng.Next();
+        map_->Put(key, value);
+        reference[key] = value;
+        break;
+      }
+      case 2: {  // remove
+        EXPECT_EQ(map_->Remove(key), reference.erase(key) > 0);
+        break;
+      }
+      case 3: {  // get
+        const auto actual = map_->Get(key);
+        const auto it = reference.find(key);
+        if (it == reference.end()) {
+          EXPECT_FALSE(actual.has_value());
+        } else {
+          EXPECT_EQ(actual, it->second);
+        }
+        break;
+      }
+    }
+  }
+  EXPECT_EQ(map_->Validate(), reference.size());
+  // Full sweep comparison.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> contents;
+  map_->ForEach([&](std::uint64_t k, std::uint64_t v) {
+    contents.emplace_back(k, v);
+  });
+  ASSERT_EQ(contents.size(), reference.size());
+  auto it = reference.begin();
+  for (const auto& [k, v] : contents) {
+    EXPECT_EQ(k, it->first);
+    EXPECT_EQ(v, it->second);
+    ++it;
+  }
+  map_->epoch()->UnregisterCurrentThread();
+}
+
+TEST_F(SkipListTest, ZeroRuntimeOverheadNoFlushesNoLogs) {
+  // The §4.1 claim: the non-blocking map needs no persistence actions.
+  GlobalFlushStats().Reset();
+  for (std::uint64_t i = 0; i < 1000; ++i) map_->IncrementBy(i % 37, 1);
+  EXPECT_EQ(GlobalFlushStats().lines_flushed.load(), 0u);
+  EXPECT_EQ(GlobalFlushStats().fences.load(), 0u);
+  map_->epoch()->UnregisterCurrentThread();
+}
+
+TEST_F(SkipListTest, ConcurrentDisjointInserts) {
+  constexpr int kThreads = 4;
+  constexpr std::uint64_t kPerThread = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([this, t] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        ASSERT_TRUE(map_->Insert(i * kThreads + t, t));
+      }
+      map_->epoch()->UnregisterCurrentThread();
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(map_->Validate(true), kThreads * kPerThread);
+  map_->epoch()->UnregisterCurrentThread();
+}
+
+TEST_F(SkipListTest, ConcurrentContendedIncrements) {
+  constexpr int kThreads = 4;
+  constexpr std::uint64_t kPerThread = 10000;
+  constexpr std::uint64_t kKeys = 16;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([this, t] {
+      Random rng(static_cast<std::uint64_t>(t) + 1);
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        map_->IncrementBy(rng.Uniform(kKeys), 1);
+      }
+      map_->epoch()->UnregisterCurrentThread();
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  // Total increments conserved.
+  std::uint64_t total = 0;
+  map_->ForEach([&](std::uint64_t, std::uint64_t v) { total += v; });
+  EXPECT_EQ(total, kThreads * kPerThread);
+  map_->Validate(true);
+  map_->epoch()->UnregisterCurrentThread();
+}
+
+TEST_F(SkipListTest, ConcurrentInsertRemoveChurn) {
+  constexpr int kThreads = 4;
+  constexpr int kIterations = 8000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([this, t] {
+      Random rng(static_cast<std::uint64_t>(t) * 31 + 7);
+      for (int i = 0; i < kIterations; ++i) {
+        const std::uint64_t key = rng.Uniform(64) + 1;
+        if (rng.Bernoulli(0.5)) {
+          map_->Insert(key, key);
+        } else {
+          map_->Remove(key);
+        }
+      }
+      map_->epoch()->UnregisterCurrentThread();
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  // Whatever remains must be structurally sound and correctly valued.
+  map_->ForEach([](std::uint64_t k, std::uint64_t v) { EXPECT_EQ(k, v); });
+  map_->Validate();
+  map_->epoch()->UnregisterCurrentThread();
+}
+
+TEST_F(SkipListTest, SurvivesReopenAfterCrash) {
+  constexpr std::uint64_t kCount = 1000;
+  for (std::uint64_t i = 0; i < kCount; ++i) map_->Insert(i, i + 1);
+  map_->epoch()->UnregisterCurrentThread();
+
+  // Crash: unmap without clean shutdown. Every store persists (kernel
+  // persistence of the shared mapping).
+  const std::string path = file_->path();
+  map_.reset();
+  heap_.reset();
+
+  auto heap = pheap::PersistentHeap::Open(path);
+  ASSERT_TRUE(heap.ok());
+  EXPECT_TRUE((*heap)->needs_recovery());
+  // §4.1: no rollback needed. Recovery = GC only.
+  pheap::TypeRegistry registry;
+  SkipListMap::RegisterTypes(&registry);
+  const pheap::GcStats stats = (*heap)->RunRecoveryGc(registry);
+  EXPECT_GE(stats.live_objects, kCount + 1);
+  (*heap)->FinishRecovery();
+
+  SkipListMap reopened(heap->get(), (*heap)->root<SkipListRoot>());
+  EXPECT_EQ(reopened.Validate(true), kCount);
+  for (std::uint64_t i = 0; i < kCount; ++i) {
+    ASSERT_EQ(reopened.Get(i), i + 1);
+  }
+  reopened.epoch()->UnregisterCurrentThread();
+}
+
+TEST_F(SkipListTest, GcReclaimsRemovedNodes) {
+  for (std::uint64_t i = 0; i < 1000; ++i) map_->Insert(i, i);
+  for (std::uint64_t i = 0; i < 1000; i += 2) map_->Remove(i);
+  map_->epoch()->UnregisterCurrentThread();
+  const std::string path = file_->path();
+  map_.reset();
+  heap_.reset();
+
+  auto heap = pheap::PersistentHeap::Open(path);
+  ASSERT_TRUE(heap.ok());
+  pheap::TypeRegistry registry;
+  SkipListMap::RegisterTypes(&registry);
+  const pheap::GcStats stats = (*heap)->RunRecoveryGc(registry);
+  // 500 live nodes + root + head. Removed nodes (in limbo at "crash"
+  // time or already freed) are not live.
+  EXPECT_EQ(stats.live_objects, 500u + 2);
+  (*heap)->FinishRecovery();
+  SkipListMap reopened(heap->get(), (*heap)->root<SkipListRoot>());
+  EXPECT_EQ(reopened.Validate(), 500u);
+  reopened.epoch()->UnregisterCurrentThread();
+}
+
+// Property sweep: random concurrent workloads with different seeds and
+// thread counts keep the sum-conservation invariant.
+class SkipListPropertyTest
+    : public SkipListTest,
+      public ::testing::WithParamInterface<std::tuple<int, int>> {};
+
+TEST_P(SkipListPropertyTest, IncrementSumConserved) {
+  const int threads_count = std::get<0>(GetParam());
+  const int seed = std::get<1>(GetParam());
+  constexpr std::uint64_t kPerThread = 3000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < threads_count; ++t) {
+    threads.emplace_back([this, t, seed] {
+      Random rng(static_cast<std::uint64_t>(seed) * 97 + t);
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        map_->IncrementBy(rng.Uniform(32), 1);
+      }
+      map_->epoch()->UnregisterCurrentThread();
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  std::uint64_t total = 0;
+  map_->ForEach([&](std::uint64_t, std::uint64_t v) { total += v; });
+  EXPECT_EQ(total, static_cast<std::uint64_t>(threads_count) * kPerThread);
+  map_->epoch()->UnregisterCurrentThread();
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, SkipListPropertyTest,
+                         ::testing::Combine(::testing::Values(1, 2, 4),
+                                            ::testing::Values(1, 2, 3)));
+
+}  // namespace
+}  // namespace tsp::lockfree

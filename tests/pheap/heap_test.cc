@@ -1,0 +1,170 @@
+#include "pheap/heap.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "pheap/test_util.h"
+
+namespace tsp::pheap {
+namespace {
+
+using testing::ScopedRegionFile;
+using testing::UniqueBaseAddress;
+
+RegionOptions SmallOptions(std::uintptr_t base) {
+  RegionOptions options;
+  options.size = 32 * 1024 * 1024;
+  options.base_address = base;
+  options.runtime_area_size = 2 * 1024 * 1024;
+  return options;
+}
+
+struct Account {
+  std::uint64_t id;
+  std::int64_t balance;
+};
+
+TEST(HeapTest, NewConstructsAndDeleteFrees) {
+  ScopedRegionFile file("heap_new");
+  auto heap = PersistentHeap::Create(file.path(),
+                                     SmallOptions(UniqueBaseAddress()));
+  ASSERT_TRUE(heap.ok());
+  Account* account = (*heap)->New<Account>(Account{42, 1000});
+  ASSERT_NE(account, nullptr);
+  EXPECT_EQ(account->id, 42u);
+  EXPECT_EQ(account->balance, 1000);
+  (*heap)->Delete(account);
+  // The freed block is recycled for the next same-size allocation.
+  Account* again = (*heap)->New<Account>(Account{1, 2});
+  EXPECT_EQ(again, account);
+}
+
+TEST(HeapTest, RootRoundTrips) {
+  ScopedRegionFile file("heap_root");
+  auto heap = PersistentHeap::Create(file.path(),
+                                     SmallOptions(UniqueBaseAddress()));
+  ASSERT_TRUE(heap.ok());
+  EXPECT_EQ((*heap)->root(), nullptr);
+  Account* account = (*heap)->New<Account>(Account{7, 70});
+  (*heap)->set_root(account);
+  EXPECT_EQ((*heap)->root<Account>(), account);
+  (*heap)->set_root(nullptr);
+  EXPECT_EQ((*heap)->root(), nullptr);
+}
+
+TEST(HeapTest, DataAndRootSurviveCleanReopen) {
+  ScopedRegionFile file("heap_reopen");
+  const std::uintptr_t base = UniqueBaseAddress();
+  {
+    auto heap = PersistentHeap::Create(file.path(), SmallOptions(base));
+    ASSERT_TRUE(heap.ok());
+    Account* account = (*heap)->New<Account>(Account{11, 1234});
+    (*heap)->set_root(account);
+    (*heap)->CloseClean();
+  }
+  {
+    auto heap = PersistentHeap::Open(file.path());
+    ASSERT_TRUE(heap.ok());
+    EXPECT_FALSE((*heap)->needs_recovery());
+    Account* account = (*heap)->root<Account>();
+    ASSERT_NE(account, nullptr);
+    EXPECT_EQ(account->id, 11u);
+    EXPECT_EQ(account->balance, 1234);
+  }
+}
+
+TEST(HeapTest, UncleanReopenNeedsRecovery) {
+  ScopedRegionFile file("heap_unclean");
+  const std::uintptr_t base = UniqueBaseAddress();
+  {
+    auto heap = PersistentHeap::Create(file.path(), SmallOptions(base));
+    ASSERT_TRUE(heap.ok());
+    Account* account = (*heap)->New<Account>(Account{3, 30});
+    (*heap)->set_root(account);
+    // No CloseClean: simulated crash. Stores still reach the file via
+    // the shared mapping (kernel persistence).
+  }
+  {
+    auto heap = PersistentHeap::Open(file.path());
+    ASSERT_TRUE(heap.ok());
+    EXPECT_TRUE((*heap)->needs_recovery());
+    // Data written before the "crash" is all there.
+    Account* account = (*heap)->root<Account>();
+    ASSERT_NE(account, nullptr);
+    EXPECT_EQ(account->balance, 30);
+    // Recovery GC rebuilds the allocator.
+    TypeRegistry registry;
+    const GcStats stats = (*heap)->RunRecoveryGc(registry);
+    EXPECT_EQ(stats.live_objects, 1u);
+  }
+}
+
+TEST(HeapTest, RuntimeAreaIsReservedAndWritable) {
+  ScopedRegionFile file("heap_rta");
+  auto heap = PersistentHeap::Create(file.path(),
+                                     SmallOptions(UniqueBaseAddress()));
+  ASSERT_TRUE(heap.ok());
+  void* area = (*heap)->runtime_area();
+  const std::size_t size = (*heap)->runtime_area_size();
+  EXPECT_GE(size, 2u * 1024 * 1024);
+  std::memset(area, 0xCD, size);
+  // The runtime area never overlaps allocations.
+  void* p = (*heap)->Alloc(1 << 20);
+  ASSERT_NE(p, nullptr);
+  EXPECT_GE(static_cast<char*>(p), static_cast<char*>(area) + size);
+}
+
+struct Typed {
+  static constexpr std::uint32_t kPersistentTypeId = 77;
+  int x;
+};
+
+struct Untyped {
+  int x;
+};
+
+TEST(HeapTest, AllocRespectsTypeIds) {
+  ScopedRegionFile file("heap_type");
+  auto heap = PersistentHeap::Create(file.path(),
+                                     SmallOptions(UniqueBaseAddress()));
+  ASSERT_TRUE(heap.ok());
+  void* p = (*heap)->Alloc(64, 1234);
+  EXPECT_EQ(Allocator::HeaderOf(p)->type_id, 1234u);
+
+  Typed* typed = (*heap)->New<Typed>();
+  EXPECT_EQ(Allocator::HeaderOf(typed)->type_id, 77u);
+
+  Untyped* untyped = (*heap)->New<Untyped>();
+  EXPECT_EQ(Allocator::HeaderOf(untyped)->type_id, 0u);
+}
+
+TEST(HeapTest, ManyObjectsAcrossReopen) {
+  ScopedRegionFile file("heap_many");
+  const std::uintptr_t base = UniqueBaseAddress();
+  constexpr int kCount = 10000;
+  {
+    auto heap = PersistentHeap::Create(file.path(), SmallOptions(base));
+    ASSERT_TRUE(heap.ok());
+    std::uint64_t** index =
+        static_cast<std::uint64_t**>((*heap)->Alloc(kCount * sizeof(void*)));
+    for (int i = 0; i < kCount; ++i) {
+      auto* v = static_cast<std::uint64_t*>((*heap)->Alloc(8));
+      *v = static_cast<std::uint64_t>(i) * 3;
+      index[i] = v;
+    }
+    (*heap)->set_root(index);
+    (*heap)->CloseClean();
+  }
+  {
+    auto heap = PersistentHeap::Open(file.path());
+    ASSERT_TRUE(heap.ok());
+    auto** index = (*heap)->root<std::uint64_t*>();
+    for (int i = 0; i < kCount; ++i) {
+      ASSERT_EQ(*index[i], static_cast<std::uint64_t>(i) * 3);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tsp::pheap

@@ -1,0 +1,235 @@
+#include "pheap/region.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <fstream>
+
+#include "pheap/test_util.h"
+
+namespace tsp::pheap {
+namespace {
+
+using testing::ScopedRegionFile;
+using testing::UniqueBaseAddress;
+
+RegionOptions SmallOptions(std::uintptr_t base) {
+  RegionOptions options;
+  options.size = 32 * 1024 * 1024;
+  options.base_address = base;
+  options.runtime_area_size = 1 * 1024 * 1024;
+  return options;
+}
+
+TEST(RegionTest, CreateFormatsHeader) {
+  ScopedRegionFile file("create");
+  const std::uintptr_t base = UniqueBaseAddress();
+  auto region = MappedRegion::Create(file.path(), SmallOptions(base));
+  ASSERT_TRUE(region.ok()) << region.status().ToString();
+
+  RegionHeader* h = (*region)->header();
+  EXPECT_EQ(h->magic, kRegionMagic);
+  EXPECT_EQ(h->version, kLayoutVersion);
+  EXPECT_EQ(h->base_address, base);
+  EXPECT_EQ(h->region_size, 32u * 1024 * 1024);
+  EXPECT_EQ(h->runtime_area_offset, kHeaderSize);
+  EXPECT_EQ(h->arena_offset, h->runtime_area_offset + h->runtime_area_size);
+  EXPECT_EQ(h->arena_offset + h->arena_size, h->region_size);
+  EXPECT_EQ(h->generation.load(), 1u);
+  EXPECT_EQ(h->root_offset.load(), 0u);
+  EXPECT_EQ(h->bump_offset.load(), h->arena_offset);
+  EXPECT_FALSE((*region)->opened_after_crash());
+  EXPECT_EQ((*region)->base(), reinterpret_cast<void*>(base));
+}
+
+TEST(RegionTest, CreateRejectsExistingFile) {
+  ScopedRegionFile file("exists");
+  auto first = MappedRegion::Create(file.path(),
+                                    SmallOptions(UniqueBaseAddress()));
+  ASSERT_TRUE(first.ok());
+  auto second = MappedRegion::Create(file.path(),
+                                     SmallOptions(UniqueBaseAddress()));
+  EXPECT_EQ(second.status().code(), StatusCode::kAlreadyExists);
+}
+
+TEST(RegionTest, CreateRejectsTinyRegion) {
+  ScopedRegionFile file("tiny");
+  RegionOptions options = SmallOptions(UniqueBaseAddress());
+  options.size = 64 * 1024;
+  auto region = MappedRegion::Create(file.path(), options);
+  EXPECT_EQ(region.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(RegionTest, OpenMissingFileIsNotFound) {
+  auto region = MappedRegion::Open("/dev/shm/tsp_test_no_such_file.heap");
+  EXPECT_EQ(region.status().code(), StatusCode::kNotFound);
+}
+
+TEST(RegionTest, OpenRejectsNonRegionFile) {
+  ScopedRegionFile file("garbage");
+  {
+    std::ofstream out(file.path(), std::ios::binary);
+    std::string junk(8192, 'x');
+    out.write(junk.data(), static_cast<std::streamsize>(junk.size()));
+  }
+  auto region = MappedRegion::Open(file.path());
+  EXPECT_EQ(region.status().code(), StatusCode::kCorruption);
+}
+
+TEST(RegionTest, DataSurvivesReopenAtSameAddress) {
+  ScopedRegionFile file("reopen");
+  const std::uintptr_t base = UniqueBaseAddress();
+  char* stored_at = nullptr;
+  {
+    auto region = MappedRegion::Create(file.path(), SmallOptions(base));
+    ASSERT_TRUE(region.ok());
+    RegionHeader* h = (*region)->header();
+    stored_at = static_cast<char*>((*region)->FromOffset(h->arena_offset));
+    std::memcpy(stored_at, "procrastination beats prevention", 33);
+    (*region)->MarkCleanShutdown();
+  }
+  {
+    auto region = MappedRegion::Open(file.path());
+    ASSERT_TRUE(region.ok()) << region.status().ToString();
+    EXPECT_EQ((*region)->base(), reinterpret_cast<void*>(base));
+    EXPECT_FALSE((*region)->opened_after_crash());
+    EXPECT_STREQ(stored_at, "procrastination beats prevention");
+    EXPECT_EQ((*region)->header()->generation.load(), 2u);
+  }
+}
+
+TEST(RegionTest, UncleanShutdownIsDetected) {
+  ScopedRegionFile file("unclean");
+  const std::uintptr_t base = UniqueBaseAddress();
+  {
+    auto region = MappedRegion::Create(file.path(), SmallOptions(base));
+    ASSERT_TRUE(region.ok());
+    // Destroyed without MarkCleanShutdown — indistinguishable from a
+    // crash as far as the file is concerned.
+  }
+  {
+    auto region = MappedRegion::Open(file.path());
+    ASSERT_TRUE(region.ok());
+    EXPECT_TRUE((*region)->opened_after_crash());
+    (*region)->MarkCleanShutdown();
+  }
+  {
+    auto region = MappedRegion::Open(file.path());
+    ASSERT_TRUE(region.ok());
+    EXPECT_FALSE((*region)->opened_after_crash());
+  }
+}
+
+TEST(RegionTest, FixedAddressConflictIsReported) {
+  ScopedRegionFile file_a("conflict_a");
+  ScopedRegionFile file_b("conflict_b");
+  const std::uintptr_t base = UniqueBaseAddress();
+  auto a = MappedRegion::Create(file_a.path(), SmallOptions(base));
+  ASSERT_TRUE(a.ok());
+  // Second region wants the same address range while the first holds it.
+  auto b = MappedRegion::Create(file_b.path(), SmallOptions(base));
+  EXPECT_EQ(b.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(RegionTest, OffsetConversionRoundTrips) {
+  ScopedRegionFile file("offsets");
+  auto region = MappedRegion::Create(file.path(),
+                                     SmallOptions(UniqueBaseAddress()));
+  ASSERT_TRUE(region.ok());
+  void* p = (*region)->FromOffset(12345 * kGranule);
+  EXPECT_EQ((*region)->ToOffset(p), 12345 * kGranule);
+  EXPECT_TRUE((*region)->Contains(p));
+  EXPECT_FALSE((*region)->Contains(&file));
+}
+
+TEST(RegionTest, OpenOrCreateBothPaths) {
+  ScopedRegionFile file("openorcreate");
+  const std::uintptr_t base = UniqueBaseAddress();
+  {
+    auto region = MappedRegion::OpenOrCreate(file.path(), SmallOptions(base));
+    ASSERT_TRUE(region.ok());
+    EXPECT_EQ((*region)->header()->generation.load(), 1u);
+  }
+  {
+    auto region = MappedRegion::OpenOrCreate(file.path(), SmallOptions(base));
+    ASSERT_TRUE(region.ok());
+    EXPECT_EQ((*region)->header()->generation.load(), 2u);
+  }
+}
+
+TEST(RegionTest, SyncToBackingSucceeds) {
+  ScopedRegionFile file("msync");
+  auto region = MappedRegion::Create(file.path(),
+                                     SmallOptions(UniqueBaseAddress()));
+  ASSERT_TRUE(region.ok());
+  std::memset((*region)->FromOffset((*region)->header()->arena_offset), 0xAB,
+              4096);
+  EXPECT_TRUE((*region)->SyncToBacking().ok());
+}
+
+TEST(RegionTest, ReadOnlyOpenDoesNotPerturbState) {
+  ScopedRegionFile file("readonly");
+  const std::uintptr_t base = UniqueBaseAddress();
+  char* stored_at = nullptr;
+  {
+    auto region = MappedRegion::Create(file.path(), SmallOptions(base));
+    ASSERT_TRUE(region.ok());
+    stored_at = static_cast<char*>(
+        (*region)->FromOffset((*region)->header()->arena_offset));
+    std::memcpy(stored_at, "inspect me", 11);
+    (*region)->MarkCleanShutdown();
+  }
+  {
+    auto region = MappedRegion::OpenReadOnly(file.path());
+    ASSERT_TRUE(region.ok()) << region.status().ToString();
+    EXPECT_TRUE((*region)->read_only());
+    EXPECT_FALSE((*region)->opened_after_crash());
+    EXPECT_STREQ(stored_at, "inspect me");
+    EXPECT_EQ((*region)->header()->generation.load(), 1u)
+        << "read-only open must not bump the generation";
+    EXPECT_EQ((*region)->header()->clean_shutdown.load(), 1u)
+        << "read-only open must not clear the clean flag";
+  }
+  // A real open afterwards still sees the clean shutdown.
+  auto region = MappedRegion::Open(file.path());
+  ASSERT_TRUE(region.ok());
+  EXPECT_FALSE((*region)->opened_after_crash());
+}
+
+TEST(RegionTest, ReadOnlyOpenSeesCrashFlag) {
+  ScopedRegionFile file("readonly_crash");
+  const std::uintptr_t base = UniqueBaseAddress();
+  {
+    auto region = MappedRegion::Create(file.path(), SmallOptions(base));
+    ASSERT_TRUE(region.ok());
+    // destroyed unclean
+  }
+  auto region = MappedRegion::OpenReadOnly(file.path());
+  ASSERT_TRUE(region.ok());
+  EXPECT_TRUE((*region)->opened_after_crash());
+}
+
+TEST(RegionTest, ReadOnlyOpenMissingOrGarbageFiles) {
+  EXPECT_EQ(MappedRegion::OpenReadOnly("/dev/shm/tsp_no_such.heap")
+                .status()
+                .code(),
+            StatusCode::kNotFound);
+  ScopedRegionFile file("readonly_garbage");
+  {
+    std::ofstream out(file.path(), std::ios::binary);
+    std::string junk(8192, 'z');
+    out.write(junk.data(), static_cast<std::streamsize>(junk.size()));
+  }
+  EXPECT_EQ(MappedRegion::OpenReadOnly(file.path()).status().code(),
+            StatusCode::kCorruption);
+}
+
+TEST(TaggedOffsetTest, PackAndUnpack) {
+  const TaggedOffset t = MakeTagged(0xBEEF, 0x123456789ABCull);
+  EXPECT_EQ(TagOf(t), 0xBEEF);
+  EXPECT_EQ(OffsetOf(t), 0x123456789ABCull);
+  EXPECT_EQ(OffsetOf(MakeTagged(0xFFFF, 0)), 0u);
+}
+
+}  // namespace
+}  // namespace tsp::pheap

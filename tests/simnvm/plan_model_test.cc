@@ -1,0 +1,123 @@
+// Glue between the §3 planner and the persistence model: execute each
+// plan's prescription against SimNvm and confirm it actually delivers
+// consistent recovery under the failure class it was planned for.
+//
+//   * A TSP plan (no runtime flushes) relies on the failure-time rescue
+//     → run MiniKv with KvPolicy::kNoFlush, crash with kTspRescue.
+//   * A non-TSP flush plan → KvPolicy::kSyncFlush, crash with
+//     arbitrary line loss (no rescue exists).
+// Both must recover at every crash point; and swapping the policies
+// (no flushes AND no rescue) must not.
+
+#include <gtest/gtest.h>
+
+#include "core/tsp_planner.h"
+#include "simnvm/mini_kv.h"
+
+namespace tsp {
+namespace {
+
+using simnvm::CrashMode;
+using simnvm::KvPolicy;
+using simnvm::MiniKv;
+using simnvm::SimNvm;
+
+constexpr std::size_t kPairs = 4;
+
+constexpr MiniKv::CrashPoint kPoints[] = {
+    MiniKv::CrashPoint::kBeforeLogValid, MiniKv::CrashPoint::kBeforeStoreA,
+    MiniKv::CrashPoint::kBeforeStoreB, MiniKv::CrashPoint::kBeforeLogClear,
+    MiniKv::CrashPoint::kDone,
+};
+
+// Maps a plan to the execution discipline + crash semantics it implies.
+struct ModelSetup {
+  KvPolicy policy;
+  CrashMode crash_mode;
+};
+
+ModelSetup SetupFor(const PersistencePlan& plan) {
+  if (plan.is_tsp) {
+    // Failure-time rescue guaranteed: no flushes, dirty lines saved.
+    return {KvPolicy::kNoFlush, CrashMode::kTspRescue};
+  }
+  // Runtime flushing; the crash saves nothing extra.
+  return {KvPolicy::kSyncFlush, CrashMode::kLoseRandomSubset};
+}
+
+bool PlanRecoversEverywhere(const PersistencePlan& plan) {
+  const ModelSetup setup = SetupFor(plan);
+  for (const MiniKv::CrashPoint point : kPoints) {
+    for (std::uint64_t seed = 0; seed < 8; ++seed) {
+      SimNvm nvm(MiniKv::RequiredSize(kPairs));
+      MiniKv kv(&nvm, setup.policy, kPairs);
+      kv.Update(1, 11);
+      kv.Update(2, 22);
+      kv.Update(1, 33, point);  // crash here
+      if (!MiniKv::RecoverAndCheck(
+              nvm.TakeCrashImage(setup.crash_mode, seed), kPairs)) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+TEST(PlanModelTest, TspPlanForNvdimmPanicIsSoundWithZeroFlushes) {
+  Requirements requirements;
+  requirements.tolerated =
+      FailureClass::kProcessCrash | FailureClass::kKernelPanic;
+  requirements.needs_rollback = true;
+  const PersistencePlan plan =
+      PlanPersistence(requirements, HardwareProfile::NvdimmServer());
+  ASSERT_TRUE(plan.is_tsp);
+  EXPECT_TRUE(PlanRecoversEverywhere(plan));
+}
+
+TEST(PlanModelTest, NonTspPlanForBareNvramPowerLossIsSound) {
+  Requirements requirements;
+  requirements.tolerated = FailureSet::Of(FailureClass::kPowerOutage);
+  requirements.needs_rollback = true;
+  const PersistencePlan plan =
+      PlanPersistence(requirements, HardwareProfile::NvramMachine());
+  ASSERT_FALSE(plan.is_tsp);
+  ASSERT_EQ(plan.atlas_mode, PersistenceMode::kLogAndFlush);
+  EXPECT_TRUE(PlanRecoversEverywhere(plan));
+}
+
+TEST(PlanModelTest, WspPlanForPowerLossIsSound) {
+  Requirements requirements;
+  requirements.tolerated = FailureSet::Of(FailureClass::kPowerOutage);
+  requirements.needs_rollback = true;
+  const PersistencePlan plan =
+      PlanPersistence(requirements, HardwareProfile::WspMachine());
+  ASSERT_TRUE(plan.is_tsp);
+  EXPECT_TRUE(PlanRecoversEverywhere(plan));
+}
+
+TEST(PlanModelTest, IgnoringThePlanIsUnsound) {
+  // Take the non-TSP hardware (bare NVRAM, power loss) but *disobey*
+  // the plan: run without flushes anyway. Some crash image must violate
+  // consistency — the planner's flush prescription is load-bearing.
+  bool violated = false;
+  for (const MiniKv::CrashPoint point :
+       {MiniKv::CrashPoint::kBeforeStoreB,
+        MiniKv::CrashPoint::kBeforeLogClear}) {
+    for (std::uint64_t seed = 0; seed < 32 && !violated; ++seed) {
+      SimNvm nvm(MiniKv::RequiredSize(kPairs));
+      MiniKv kv(&nvm, KvPolicy::kNoFlush, kPairs);  // defies the plan
+      kv.Update(1, 11);
+      kv.Update(2, 22);
+      kv.Update(1, 33, point);
+      if (!MiniKv::RecoverAndCheck(
+              nvm.TakeCrashImage(CrashMode::kLoseRandomSubset, seed),
+              kPairs)) {
+        violated = true;
+      }
+    }
+  }
+  EXPECT_TRUE(violated);
+}
+
+}  // namespace
+}  // namespace tsp

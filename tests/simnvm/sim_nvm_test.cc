@@ -1,0 +1,124 @@
+#include "simnvm/sim_nvm.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+namespace tsp::simnvm {
+namespace {
+
+std::uint64_t ImageWord(const std::vector<std::uint8_t>& image,
+                        std::uint64_t addr) {
+  std::uint64_t v = 0;
+  std::memcpy(&v, &image[addr], 8);
+  return v;
+}
+
+TEST(SimNvmTest, StoresVisibleToLoadsBeforeFlush) {
+  SimNvm nvm(4096);
+  nvm.Store(128, 0xAB);
+  EXPECT_EQ(nvm.Load(128), 0xABu);
+  EXPECT_EQ(nvm.DirtyLineCount(), 1u);
+}
+
+TEST(SimNvmTest, UnflushedStoresLostOnWorstCaseCrash) {
+  SimNvm nvm(4096);
+  nvm.Store(128, 0xAB);
+  const auto image = nvm.TakeCrashImage(CrashMode::kLoseAllUnflushed);
+  EXPECT_EQ(ImageWord(image, 128), 0u);
+}
+
+TEST(SimNvmTest, FlushedStoresSurviveWorstCaseCrash) {
+  SimNvm nvm(4096);
+  nvm.Store(128, 0xAB);
+  nvm.FlushLine(128);
+  nvm.Fence();
+  EXPECT_EQ(nvm.DirtyLineCount(), 0u);
+  const auto image = nvm.TakeCrashImage(CrashMode::kLoseAllUnflushed);
+  EXPECT_EQ(ImageWord(image, 128), 0xABu);
+}
+
+TEST(SimNvmTest, TspRescueSavesEverything) {
+  SimNvm nvm(4096);
+  for (std::uint64_t i = 0; i < 32; ++i) nvm.Store(i * 64, i + 1);
+  const auto image = nvm.TakeCrashImage(CrashMode::kTspRescue);
+  for (std::uint64_t i = 0; i < 32; ++i) {
+    EXPECT_EQ(ImageWord(image, i * 64), i + 1);
+  }
+}
+
+TEST(SimNvmTest, RandomSubsetLossIsPartialAndSeeded) {
+  SimNvm nvm(64 * 64);
+  for (std::uint64_t i = 0; i < 64; ++i) nvm.Store(i * 64, 1);
+  const auto image_a = nvm.TakeCrashImage(CrashMode::kLoseRandomSubset, 7);
+  const auto image_b = nvm.TakeCrashImage(CrashMode::kLoseRandomSubset, 7);
+  EXPECT_EQ(image_a, image_b) << "same seed, same image";
+
+  int survived = 0;
+  for (std::uint64_t i = 0; i < 64; ++i) {
+    survived += ImageWord(image_a, i * 64) == 1 ? 1 : 0;
+  }
+  EXPECT_GT(survived, 5) << "some lines should survive";
+  EXPECT_LT(survived, 59) << "some lines should be lost";
+}
+
+TEST(SimNvmTest, TakingImagesDoesNotPerturbState) {
+  SimNvm nvm(4096);
+  nvm.Store(0, 42);
+  nvm.TakeCrashImage(CrashMode::kLoseAllUnflushed);
+  nvm.TakeCrashImage(CrashMode::kTspRescue);
+  EXPECT_EQ(nvm.Load(0), 42u);
+  EXPECT_EQ(nvm.DirtyLineCount(), 1u);
+}
+
+TEST(SimNvmTest, SameLineStoresCoalesce) {
+  SimNvm nvm(4096);
+  nvm.Store(0, 1);
+  nvm.Store(8, 2);
+  nvm.Store(56, 3);
+  EXPECT_EQ(nvm.DirtyLineCount(), 1u);
+  nvm.FlushLine(0);
+  const auto image = nvm.TakeCrashImage(CrashMode::kLoseAllUnflushed);
+  EXPECT_EQ(ImageWord(image, 0), 1u);
+  EXPECT_EQ(ImageWord(image, 8), 2u);
+  EXPECT_EQ(ImageWord(image, 56), 3u);
+}
+
+TEST(SimNvmTest, BoundedCacheEvictsToNvm) {
+  SimNvm nvm(64 * 64, /*cache_capacity=*/4, /*eviction_seed=*/3);
+  for (std::uint64_t i = 0; i < 16; ++i) nvm.Store(i * 64, i + 1);
+  EXPECT_LE(nvm.DirtyLineCount(), 4u);
+  EXPECT_EQ(nvm.stats().evictions, 12u);
+  // Evicted lines reached NVM: even the worst-case crash keeps them.
+  const auto image = nvm.TakeCrashImage(CrashMode::kLoseAllUnflushed);
+  int survived = 0;
+  for (std::uint64_t i = 0; i < 16; ++i) {
+    if (ImageWord(image, i * 64) == i + 1) ++survived;
+  }
+  EXPECT_EQ(survived, 12);
+}
+
+TEST(SimNvmTest, StatsCountOperations) {
+  SimNvm nvm(4096);
+  nvm.Store(0, 1);
+  nvm.Load(0);
+  nvm.FlushLine(0);
+  nvm.Fence();
+  EXPECT_EQ(nvm.stats().stores, 1u);
+  EXPECT_EQ(nvm.stats().loads, 1u);
+  EXPECT_EQ(nvm.stats().line_flushes, 1u);
+  EXPECT_EQ(nvm.stats().fences, 1u);
+  nvm.ResetStats();
+  EXPECT_EQ(nvm.stats().stores, 0u);
+}
+
+TEST(SimNvmTest, FlushRangeCoversStraddle) {
+  SimNvm nvm(4096);
+  nvm.Store(56, 1);   // line 0
+  nvm.Store(64, 2);   // line 1
+  nvm.FlushRange(56, 16);
+  EXPECT_EQ(nvm.DirtyLineCount(), 0u);
+}
+
+}  // namespace
+}  // namespace tsp::simnvm

@@ -1,0 +1,75 @@
+#include "simnvm/wsp.h"
+
+#include <gtest/gtest.h>
+
+namespace tsp::simnvm {
+namespace {
+
+TEST(WspTest, DefaultServerIsFeasible) {
+  const WspAssessment a = AssessWsp(WspConfig{});
+  EXPECT_TRUE(a.stage1_feasible);
+  EXPECT_TRUE(a.stage2_feasible);
+  EXPECT_TRUE(a.feasible);
+}
+
+// The paper §2: "the time and energy costs of flushing volatile CPU
+// cache contents to the safety of NVM are minuscule compared to the
+// corresponding costs of evacuating data in volatile DRAM to block
+// storage".
+TEST(WspTest, CacheFlushMinusculeVsDramEvacuation) {
+  const WspAssessment a = AssessWsp(WspConfig{});
+  EXPECT_LT(a.stage1_seconds * 1000, a.stage2_seconds)
+      << "cache flush should be >1000x faster than DRAM evacuation";
+  EXPECT_LT(a.stage1_joules * 100, a.stage2_joules);
+}
+
+TEST(WspTest, UndersizedSupercapIsInfeasible) {
+  WspConfig config;
+  config.supercap_joules = 10;  // far below the DRAM evacuation cost
+  const WspAssessment a = AssessWsp(config);
+  EXPECT_TRUE(a.stage1_feasible);
+  EXPECT_FALSE(a.stage2_feasible);
+  EXPECT_FALSE(a.feasible);
+}
+
+TEST(WspTest, NvdimmEliminatesStageTwo) {
+  WspConfig config;
+  config.dram_bytes = 0;  // memory itself is non-volatile
+  config.supercap_joules = 0;
+  const WspAssessment a = AssessWsp(config);
+  EXPECT_TRUE(a.feasible);
+  EXPECT_EQ(a.stage2_seconds, 0);
+  EXPECT_EQ(MinimumSupercapJoules(config), 0);
+}
+
+TEST(WspTest, MinimumSupercapMatchesAssessment) {
+  WspConfig config;
+  const double min_joules = MinimumSupercapJoules(config);
+  config.supercap_joules = min_joules * 0.99;
+  EXPECT_FALSE(AssessWsp(config).stage2_feasible);
+  config.supercap_joules = min_joules * 1.01;
+  EXPECT_TRUE(AssessWsp(config).stage2_feasible);
+}
+
+TEST(WspTest, BiggerDramNeedsMoreEnergy) {
+  WspConfig small;
+  small.dram_bytes = 8.0 * 1024 * 1024 * 1024;
+  WspConfig big;
+  big.dram_bytes = 1024.0 * 1024 * 1024 * 1024;  // 1 TiB monster box
+  EXPECT_LT(MinimumSupercapJoules(small), MinimumSupercapJoules(big));
+  // The DL580-class 1.5 TB machine of Table 1 would need a serious
+  // energy store — which is why NVDIMMs are attractive there.
+  EXPECT_GT(MinimumSupercapJoules(big), 10000.0);
+}
+
+TEST(WspTest, ToStringMentionsVerdict) {
+  const WspAssessment a = AssessWsp(WspConfig{});
+  EXPECT_NE(a.ToString().find("FEASIBLE"), std::string::npos);
+  WspConfig bad;
+  bad.psu_residual_joules = 0;
+  EXPECT_NE(AssessWsp(bad).ToString().find("INSUFFICIENT"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace tsp::simnvm

@@ -1,0 +1,202 @@
+#include "workload/workload.h"
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+
+#include "pheap/test_util.h"
+#include "workload/map_session.h"
+
+namespace tsp::workload {
+namespace {
+
+using pheap::testing::ScopedRegionFile;
+using pheap::testing::UniqueBaseAddress;
+
+MapSession::Config SmallConfig(MapVariant variant, const std::string& path,
+                               std::uintptr_t base) {
+  MapSession::Config config;
+  config.variant = variant;
+  config.path = path;
+  config.heap_size = 128 * 1024 * 1024;
+  config.base_address = base;
+  config.runtime_area_size = 8 * 1024 * 1024;
+  config.hash_options.bucket_count = 1 << 14;
+  return config;
+}
+
+class WorkloadVariantTest : public ::testing::TestWithParam<MapVariant> {};
+
+TEST_P(WorkloadVariantTest, CompletedRunSatisfiesInvariantsExactly) {
+  ScopedRegionFile file("workload");
+  auto session = MapSession::OpenOrCreate(
+      SmallConfig(GetParam(), file.path(), UniqueBaseAddress()));
+  ASSERT_TRUE(session.ok()) << session.status().ToString();
+
+  WorkloadOptions options;
+  options.threads = 4;
+  options.high_range = 1024;
+  options.iterations_per_thread = 3000;
+  const WorkloadResult result = RunMapWorkload((*session)->map(), options);
+  EXPECT_EQ(result.total_iterations, 4u * 3000);
+  EXPECT_GT(result.millions_iter_per_sec, 0.0);
+
+  const InvariantReport report =
+      CheckMapInvariants(*(*session)->map(), options.threads);
+  EXPECT_TRUE(report.ok) << report.ToString();
+  // A completed run is exact: every counter hit the iteration count and
+  // every iteration incremented H exactly once.
+  EXPECT_EQ(report.sum_c1, 4u * 3000);
+  EXPECT_EQ(report.sum_c2, 4u * 3000);
+  EXPECT_EQ(report.sum_high, 4u * 3000);
+  (*session)->CloseClean();
+}
+
+TEST_P(WorkloadVariantTest, StateSurvivesCleanReopen) {
+  ScopedRegionFile file("workload_reopen");
+  const std::uintptr_t base = UniqueBaseAddress();
+  const auto config = SmallConfig(GetParam(), file.path(), base);
+  {
+    auto session = MapSession::OpenOrCreate(config);
+    ASSERT_TRUE(session.ok());
+    WorkloadOptions options;
+    options.threads = 2;
+    options.high_range = 64;
+    options.iterations_per_thread = 500;
+    RunMapWorkload((*session)->map(), options);
+    (*session)->CloseClean();
+  }
+  {
+    auto session = MapSession::OpenOrCreate(config);
+    ASSERT_TRUE(session.ok());
+    EXPECT_FALSE((*session)->recovered());
+    const InvariantReport report =
+        CheckMapInvariants(*(*session)->map(), 2);
+    EXPECT_TRUE(report.ok) << report.ToString();
+    EXPECT_EQ(report.sum_c2, 1000u);
+    (*session)->CloseClean();
+  }
+}
+
+TEST_P(WorkloadVariantTest, UncleanReopenRunsRecoveryAndKeepsInvariants) {
+  ScopedRegionFile file("workload_crash");
+  const std::uintptr_t base = UniqueBaseAddress();
+  const auto config = SmallConfig(GetParam(), file.path(), base);
+  {
+    auto session = MapSession::OpenOrCreate(config);
+    ASSERT_TRUE(session.ok());
+    WorkloadOptions options;
+    options.threads = 2;
+    options.high_range = 64;
+    options.iterations_per_thread = 500;
+    RunMapWorkload((*session)->map(), options);
+    // No CloseClean: simulated crash at a quiescent instant.
+  }
+  {
+    auto session = MapSession::OpenOrCreate(config);
+    ASSERT_TRUE(session.ok()) << session.status().ToString();
+    EXPECT_TRUE((*session)->recovered());
+    const InvariantReport report =
+        CheckMapInvariants(*(*session)->map(), 2);
+    EXPECT_TRUE(report.ok) << report.ToString();
+    EXPECT_EQ(report.sum_c2, 1000u) << "quiescent crash loses nothing";
+    (*session)->CloseClean();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Variants, WorkloadVariantTest,
+    ::testing::Values(MapVariant::kMutexNative, MapVariant::kMutexLogOnly,
+                      MapVariant::kMutexLogFlush,
+                      MapVariant::kLockFreeSkipList),
+    [](const auto& info) {
+      std::string name = MapVariantName(info.param);
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+TEST(MapSessionTest, VariantMismatchIsRejected) {
+  ScopedRegionFile file("mismatch");
+  const std::uintptr_t base = UniqueBaseAddress();
+  auto config = SmallConfig(MapVariant::kMutexLogOnly, file.path(), base);
+  {
+    auto session = MapSession::OpenOrCreate(config);
+    ASSERT_TRUE(session.ok());
+    (*session)->CloseClean();
+  }
+  config.variant = MapVariant::kLockFreeSkipList;
+  auto session = MapSession::OpenOrCreate(config);
+  EXPECT_EQ(session.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(MapSessionTest, VariantNamesAreStable) {
+  EXPECT_STREQ(MapVariantName(MapVariant::kMutexNative), "mutex-native");
+  EXPECT_STREQ(MapVariantName(MapVariant::kMutexLogOnly),
+               "mutex-atlas-log-only");
+  EXPECT_STREQ(MapVariantName(MapVariant::kMutexLogFlush),
+               "mutex-atlas-log+flush");
+  EXPECT_STREQ(MapVariantName(MapVariant::kLockFreeSkipList),
+               "lockfree-skiplist");
+}
+
+TEST(InvariantTest, DetectsEquation1Violation) {
+  ScopedRegionFile file("inv1");
+  auto session = MapSession::OpenOrCreate(SmallConfig(
+      MapVariant::kMutexNative, file.path(), UniqueBaseAddress()));
+  ASSERT_TRUE(session.ok());
+  maps::Map* map = (*session)->map();
+  // c1 ran two iterations ahead of c2: impossible under the protocol.
+  map->Put(C1Key(0), 5);
+  map->Put(C2Key(0), 3);
+  const InvariantReport report = CheckMapInvariants(*map, 1);
+  EXPECT_FALSE(report.ok);
+  (*session)->CloseClean();
+}
+
+TEST(InvariantTest, DetectsEquation2Violation) {
+  ScopedRegionFile file("inv2");
+  auto session = MapSession::OpenOrCreate(SmallConfig(
+      MapVariant::kMutexNative, file.path(), UniqueBaseAddress()));
+  ASSERT_TRUE(session.ok());
+  maps::Map* map = (*session)->map();
+  // H contains more increments than iterations started.
+  map->Put(C1Key(0), 1);
+  map->Put(C2Key(0), 1);
+  map->Put(HighKey(3), 10);
+  const InvariantReport report = CheckMapInvariants(*map, 1);
+  EXPECT_FALSE(report.ok);
+  EXPECT_NE(report.error.find("Eq.(2)"), std::string::npos);
+  (*session)->CloseClean();
+}
+
+TEST(InvariantTest, EmptyMapIsConsistent) {
+  ScopedRegionFile file("inv_empty");
+  auto session = MapSession::OpenOrCreate(SmallConfig(
+      MapVariant::kMutexNative, file.path(), UniqueBaseAddress()));
+  ASSERT_TRUE(session.ok());
+  const InvariantReport report =
+      CheckMapInvariants(*(*session)->map(), 8);
+  EXPECT_TRUE(report.ok);
+  EXPECT_EQ(report.completed_iterations, 0u);
+  (*session)->CloseClean();
+}
+
+TEST(InvariantTest, MidIterationStateIsConsistent) {
+  ScopedRegionFile file("inv_mid");
+  auto session = MapSession::OpenOrCreate(SmallConfig(
+      MapVariant::kMutexNative, file.path(), UniqueBaseAddress()));
+  ASSERT_TRUE(session.ok());
+  maps::Map* map = (*session)->map();
+  // Crash between step 1 and step 2 of iteration 4: c1=4, H=3, c2=3.
+  map->Put(C1Key(0), 4);
+  map->Put(C2Key(0), 3);
+  map->Put(HighKey(0), 3);
+  const InvariantReport report = CheckMapInvariants(*map, 1);
+  EXPECT_TRUE(report.ok) << report.ToString();
+  (*session)->CloseClean();
+}
+
+}  // namespace
+}  // namespace tsp::workload
