@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_atlas_overhead.dir/bench_atlas_overhead.cc.o"
+  "CMakeFiles/bench_atlas_overhead.dir/bench_atlas_overhead.cc.o.d"
+  "bench_atlas_overhead"
+  "bench_atlas_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_atlas_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

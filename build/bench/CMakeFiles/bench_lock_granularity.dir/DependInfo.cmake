@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_lock_granularity.cc" "bench/CMakeFiles/bench_lock_granularity.dir/bench_lock_granularity.cc.o" "gcc" "bench/CMakeFiles/bench_lock_granularity.dir/bench_lock_granularity.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/tsp_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/maps/CMakeFiles/tsp_maps.dir/DependInfo.cmake"
+  "/root/repo/build/src/atlas/CMakeFiles/tsp_atlas.dir/DependInfo.cmake"
+  "/root/repo/build/src/lockfree/CMakeFiles/tsp_lockfree.dir/DependInfo.cmake"
+  "/root/repo/build/src/pheap/CMakeFiles/tsp_pheap.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/tsp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/tsp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_log.dir/bench_log.cc.o"
+  "CMakeFiles/bench_log.dir/bench_log.cc.o.d"
+  "bench_log"
+  "bench_log.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_log.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_map_variants.dir/bench_map_variants.cc.o"
+  "CMakeFiles/bench_map_variants.dir/bench_map_variants.cc.o.d"
+  "bench_map_variants"
+  "bench_map_variants.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_map_variants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

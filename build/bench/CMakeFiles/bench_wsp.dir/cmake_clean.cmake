@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_wsp.dir/bench_wsp.cc.o"
+  "CMakeFiles/bench_wsp.dir/bench_wsp.cc.o.d"
+  "bench_wsp"
+  "bench_wsp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_wsp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/persistent_queue.dir/persistent_queue.cpp.o"
+  "CMakeFiles/persistent_queue.dir/persistent_queue.cpp.o.d"
+  "persistent_queue"
+  "persistent_queue.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/persistent_queue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/atlas/log_layout.cc" "src/atlas/CMakeFiles/tsp_atlas.dir/log_layout.cc.o" "gcc" "src/atlas/CMakeFiles/tsp_atlas.dir/log_layout.cc.o.d"
+  "/root/repo/src/atlas/recovery.cc" "src/atlas/CMakeFiles/tsp_atlas.dir/recovery.cc.o" "gcc" "src/atlas/CMakeFiles/tsp_atlas.dir/recovery.cc.o.d"
+  "/root/repo/src/atlas/runtime.cc" "src/atlas/CMakeFiles/tsp_atlas.dir/runtime.cc.o" "gcc" "src/atlas/CMakeFiles/tsp_atlas.dir/runtime.cc.o.d"
+  "/root/repo/src/atlas/stability.cc" "src/atlas/CMakeFiles/tsp_atlas.dir/stability.cc.o" "gcc" "src/atlas/CMakeFiles/tsp_atlas.dir/stability.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/tsp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/tsp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/pheap/CMakeFiles/tsp_pheap.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

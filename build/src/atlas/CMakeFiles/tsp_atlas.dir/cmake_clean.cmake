@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsp_atlas.dir/log_layout.cc.o"
+  "CMakeFiles/tsp_atlas.dir/log_layout.cc.o.d"
+  "CMakeFiles/tsp_atlas.dir/recovery.cc.o"
+  "CMakeFiles/tsp_atlas.dir/recovery.cc.o.d"
+  "CMakeFiles/tsp_atlas.dir/runtime.cc.o"
+  "CMakeFiles/tsp_atlas.dir/runtime.cc.o.d"
+  "CMakeFiles/tsp_atlas.dir/stability.cc.o"
+  "CMakeFiles/tsp_atlas.dir/stability.cc.o.d"
+  "libtsp_atlas.a"
+  "libtsp_atlas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsp_atlas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

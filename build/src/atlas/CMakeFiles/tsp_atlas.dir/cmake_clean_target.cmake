@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtsp_atlas.a"
+)

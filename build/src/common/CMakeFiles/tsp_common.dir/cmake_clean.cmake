@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsp_common.dir/flush.cc.o"
+  "CMakeFiles/tsp_common.dir/flush.cc.o.d"
+  "CMakeFiles/tsp_common.dir/logging.cc.o"
+  "CMakeFiles/tsp_common.dir/logging.cc.o.d"
+  "CMakeFiles/tsp_common.dir/random.cc.o"
+  "CMakeFiles/tsp_common.dir/random.cc.o.d"
+  "CMakeFiles/tsp_common.dir/status.cc.o"
+  "CMakeFiles/tsp_common.dir/status.cc.o.d"
+  "libtsp_common.a"
+  "libtsp_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsp_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

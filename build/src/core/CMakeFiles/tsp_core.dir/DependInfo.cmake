@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/failure_model.cc" "src/core/CMakeFiles/tsp_core.dir/failure_model.cc.o" "gcc" "src/core/CMakeFiles/tsp_core.dir/failure_model.cc.o.d"
+  "/root/repo/src/core/tsp_planner.cc" "src/core/CMakeFiles/tsp_core.dir/tsp_planner.cc.o" "gcc" "src/core/CMakeFiles/tsp_core.dir/tsp_planner.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/tsp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

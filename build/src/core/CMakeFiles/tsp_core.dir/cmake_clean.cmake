@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsp_core.dir/failure_model.cc.o"
+  "CMakeFiles/tsp_core.dir/failure_model.cc.o.d"
+  "CMakeFiles/tsp_core.dir/tsp_planner.cc.o"
+  "CMakeFiles/tsp_core.dir/tsp_planner.cc.o.d"
+  "libtsp_core.a"
+  "libtsp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsp_domain.dir/persistence_domain.cc.o"
+  "CMakeFiles/tsp_domain.dir/persistence_domain.cc.o.d"
+  "libtsp_domain.a"
+  "libtsp_domain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsp_domain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsp_faultsim.dir/crash_harness.cc.o"
+  "CMakeFiles/tsp_faultsim.dir/crash_harness.cc.o.d"
+  "libtsp_faultsim.a"
+  "libtsp_faultsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsp_faultsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lockfree/epoch.cc" "src/lockfree/CMakeFiles/tsp_lockfree.dir/epoch.cc.o" "gcc" "src/lockfree/CMakeFiles/tsp_lockfree.dir/epoch.cc.o.d"
+  "/root/repo/src/lockfree/queue.cc" "src/lockfree/CMakeFiles/tsp_lockfree.dir/queue.cc.o" "gcc" "src/lockfree/CMakeFiles/tsp_lockfree.dir/queue.cc.o.d"
+  "/root/repo/src/lockfree/skiplist.cc" "src/lockfree/CMakeFiles/tsp_lockfree.dir/skiplist.cc.o" "gcc" "src/lockfree/CMakeFiles/tsp_lockfree.dir/skiplist.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/tsp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/pheap/CMakeFiles/tsp_pheap.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/tsp_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

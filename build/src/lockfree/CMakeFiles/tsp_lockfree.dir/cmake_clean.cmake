@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsp_lockfree.dir/epoch.cc.o"
+  "CMakeFiles/tsp_lockfree.dir/epoch.cc.o.d"
+  "CMakeFiles/tsp_lockfree.dir/queue.cc.o"
+  "CMakeFiles/tsp_lockfree.dir/queue.cc.o.d"
+  "CMakeFiles/tsp_lockfree.dir/skiplist.cc.o"
+  "CMakeFiles/tsp_lockfree.dir/skiplist.cc.o.d"
+  "libtsp_lockfree.a"
+  "libtsp_lockfree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsp_lockfree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsp_maps.dir/mutex_hashmap.cc.o"
+  "CMakeFiles/tsp_maps.dir/mutex_hashmap.cc.o.d"
+  "libtsp_maps.a"
+  "libtsp_maps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsp_maps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

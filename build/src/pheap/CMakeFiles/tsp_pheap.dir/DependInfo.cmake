@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pheap/allocator.cc" "src/pheap/CMakeFiles/tsp_pheap.dir/allocator.cc.o" "gcc" "src/pheap/CMakeFiles/tsp_pheap.dir/allocator.cc.o.d"
+  "/root/repo/src/pheap/check.cc" "src/pheap/CMakeFiles/tsp_pheap.dir/check.cc.o" "gcc" "src/pheap/CMakeFiles/tsp_pheap.dir/check.cc.o.d"
+  "/root/repo/src/pheap/gc.cc" "src/pheap/CMakeFiles/tsp_pheap.dir/gc.cc.o" "gcc" "src/pheap/CMakeFiles/tsp_pheap.dir/gc.cc.o.d"
+  "/root/repo/src/pheap/heap.cc" "src/pheap/CMakeFiles/tsp_pheap.dir/heap.cc.o" "gcc" "src/pheap/CMakeFiles/tsp_pheap.dir/heap.cc.o.d"
+  "/root/repo/src/pheap/region.cc" "src/pheap/CMakeFiles/tsp_pheap.dir/region.cc.o" "gcc" "src/pheap/CMakeFiles/tsp_pheap.dir/region.cc.o.d"
+  "/root/repo/src/pheap/type_registry.cc" "src/pheap/CMakeFiles/tsp_pheap.dir/type_registry.cc.o" "gcc" "src/pheap/CMakeFiles/tsp_pheap.dir/type_registry.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/tsp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/tsp_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

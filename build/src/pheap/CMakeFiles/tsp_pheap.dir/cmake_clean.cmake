@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsp_pheap.dir/allocator.cc.o"
+  "CMakeFiles/tsp_pheap.dir/allocator.cc.o.d"
+  "CMakeFiles/tsp_pheap.dir/check.cc.o"
+  "CMakeFiles/tsp_pheap.dir/check.cc.o.d"
+  "CMakeFiles/tsp_pheap.dir/gc.cc.o"
+  "CMakeFiles/tsp_pheap.dir/gc.cc.o.d"
+  "CMakeFiles/tsp_pheap.dir/heap.cc.o"
+  "CMakeFiles/tsp_pheap.dir/heap.cc.o.d"
+  "CMakeFiles/tsp_pheap.dir/region.cc.o"
+  "CMakeFiles/tsp_pheap.dir/region.cc.o.d"
+  "CMakeFiles/tsp_pheap.dir/type_registry.cc.o"
+  "CMakeFiles/tsp_pheap.dir/type_registry.cc.o.d"
+  "libtsp_pheap.a"
+  "libtsp_pheap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsp_pheap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

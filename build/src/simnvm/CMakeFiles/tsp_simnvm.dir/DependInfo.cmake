@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/simnvm/mini_kv.cc" "src/simnvm/CMakeFiles/tsp_simnvm.dir/mini_kv.cc.o" "gcc" "src/simnvm/CMakeFiles/tsp_simnvm.dir/mini_kv.cc.o.d"
+  "/root/repo/src/simnvm/observer.cc" "src/simnvm/CMakeFiles/tsp_simnvm.dir/observer.cc.o" "gcc" "src/simnvm/CMakeFiles/tsp_simnvm.dir/observer.cc.o.d"
+  "/root/repo/src/simnvm/sim_nvm.cc" "src/simnvm/CMakeFiles/tsp_simnvm.dir/sim_nvm.cc.o" "gcc" "src/simnvm/CMakeFiles/tsp_simnvm.dir/sim_nvm.cc.o.d"
+  "/root/repo/src/simnvm/wsp.cc" "src/simnvm/CMakeFiles/tsp_simnvm.dir/wsp.cc.o" "gcc" "src/simnvm/CMakeFiles/tsp_simnvm.dir/wsp.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/tsp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsp_simnvm.dir/mini_kv.cc.o"
+  "CMakeFiles/tsp_simnvm.dir/mini_kv.cc.o.d"
+  "CMakeFiles/tsp_simnvm.dir/observer.cc.o"
+  "CMakeFiles/tsp_simnvm.dir/observer.cc.o.d"
+  "CMakeFiles/tsp_simnvm.dir/sim_nvm.cc.o"
+  "CMakeFiles/tsp_simnvm.dir/sim_nvm.cc.o.d"
+  "CMakeFiles/tsp_simnvm.dir/wsp.cc.o"
+  "CMakeFiles/tsp_simnvm.dir/wsp.cc.o.d"
+  "libtsp_simnvm.a"
+  "libtsp_simnvm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsp_simnvm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsp_workload.dir/map_session.cc.o"
+  "CMakeFiles/tsp_workload.dir/map_session.cc.o.d"
+  "CMakeFiles/tsp_workload.dir/workload.cc.o"
+  "CMakeFiles/tsp_workload.dir/workload.cc.o.d"
+  "libtsp_workload.a"
+  "libtsp_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsp_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

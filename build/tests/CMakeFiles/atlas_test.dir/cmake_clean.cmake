@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atlas_test.dir/atlas/address_set_test.cc.o"
+  "CMakeFiles/atlas_test.dir/atlas/address_set_test.cc.o.d"
+  "CMakeFiles/atlas_test.dir/atlas/log_layout_test.cc.o"
+  "CMakeFiles/atlas_test.dir/atlas/log_layout_test.cc.o.d"
+  "CMakeFiles/atlas_test.dir/atlas/recovery_property_test.cc.o"
+  "CMakeFiles/atlas_test.dir/atlas/recovery_property_test.cc.o.d"
+  "CMakeFiles/atlas_test.dir/atlas/recovery_test.cc.o"
+  "CMakeFiles/atlas_test.dir/atlas/recovery_test.cc.o.d"
+  "CMakeFiles/atlas_test.dir/atlas/runtime_test.cc.o"
+  "CMakeFiles/atlas_test.dir/atlas/runtime_test.cc.o.d"
+  "CMakeFiles/atlas_test.dir/atlas/stats_test.cc.o"
+  "CMakeFiles/atlas_test.dir/atlas/stats_test.cc.o.d"
+  "atlas_test"
+  "atlas_test.pdb"
+  "atlas_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atlas_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lockfree_test.dir/lockfree/epoch_test.cc.o"
+  "CMakeFiles/lockfree_test.dir/lockfree/epoch_test.cc.o.d"
+  "CMakeFiles/lockfree_test.dir/lockfree/queue_test.cc.o"
+  "CMakeFiles/lockfree_test.dir/lockfree/queue_test.cc.o.d"
+  "CMakeFiles/lockfree_test.dir/lockfree/skiplist_test.cc.o"
+  "CMakeFiles/lockfree_test.dir/lockfree/skiplist_test.cc.o.d"
+  "lockfree_test"
+  "lockfree_test.pdb"
+  "lockfree_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lockfree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/pheap/allocator_property_test.cc" "tests/CMakeFiles/pheap_test.dir/pheap/allocator_property_test.cc.o" "gcc" "tests/CMakeFiles/pheap_test.dir/pheap/allocator_property_test.cc.o.d"
+  "/root/repo/tests/pheap/allocator_test.cc" "tests/CMakeFiles/pheap_test.dir/pheap/allocator_test.cc.o" "gcc" "tests/CMakeFiles/pheap_test.dir/pheap/allocator_test.cc.o.d"
+  "/root/repo/tests/pheap/check_test.cc" "tests/CMakeFiles/pheap_test.dir/pheap/check_test.cc.o" "gcc" "tests/CMakeFiles/pheap_test.dir/pheap/check_test.cc.o.d"
+  "/root/repo/tests/pheap/containers_test.cc" "tests/CMakeFiles/pheap_test.dir/pheap/containers_test.cc.o" "gcc" "tests/CMakeFiles/pheap_test.dir/pheap/containers_test.cc.o.d"
+  "/root/repo/tests/pheap/gc_test.cc" "tests/CMakeFiles/pheap_test.dir/pheap/gc_test.cc.o" "gcc" "tests/CMakeFiles/pheap_test.dir/pheap/gc_test.cc.o.d"
+  "/root/repo/tests/pheap/heap_test.cc" "tests/CMakeFiles/pheap_test.dir/pheap/heap_test.cc.o" "gcc" "tests/CMakeFiles/pheap_test.dir/pheap/heap_test.cc.o.d"
+  "/root/repo/tests/pheap/kernel_persistence_test.cc" "tests/CMakeFiles/pheap_test.dir/pheap/kernel_persistence_test.cc.o" "gcc" "tests/CMakeFiles/pheap_test.dir/pheap/kernel_persistence_test.cc.o.d"
+  "/root/repo/tests/pheap/region_test.cc" "tests/CMakeFiles/pheap_test.dir/pheap/region_test.cc.o" "gcc" "tests/CMakeFiles/pheap_test.dir/pheap/region_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pheap/CMakeFiles/tsp_pheap.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/tsp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/tsp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pheap_test.dir/pheap/allocator_property_test.cc.o"
+  "CMakeFiles/pheap_test.dir/pheap/allocator_property_test.cc.o.d"
+  "CMakeFiles/pheap_test.dir/pheap/allocator_test.cc.o"
+  "CMakeFiles/pheap_test.dir/pheap/allocator_test.cc.o.d"
+  "CMakeFiles/pheap_test.dir/pheap/check_test.cc.o"
+  "CMakeFiles/pheap_test.dir/pheap/check_test.cc.o.d"
+  "CMakeFiles/pheap_test.dir/pheap/containers_test.cc.o"
+  "CMakeFiles/pheap_test.dir/pheap/containers_test.cc.o.d"
+  "CMakeFiles/pheap_test.dir/pheap/gc_test.cc.o"
+  "CMakeFiles/pheap_test.dir/pheap/gc_test.cc.o.d"
+  "CMakeFiles/pheap_test.dir/pheap/heap_test.cc.o"
+  "CMakeFiles/pheap_test.dir/pheap/heap_test.cc.o.d"
+  "CMakeFiles/pheap_test.dir/pheap/kernel_persistence_test.cc.o"
+  "CMakeFiles/pheap_test.dir/pheap/kernel_persistence_test.cc.o.d"
+  "CMakeFiles/pheap_test.dir/pheap/region_test.cc.o"
+  "CMakeFiles/pheap_test.dir/pheap/region_test.cc.o.d"
+  "pheap_test"
+  "pheap_test.pdb"
+  "pheap_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pheap_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

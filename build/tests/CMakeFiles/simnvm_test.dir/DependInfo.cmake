@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/simnvm/mini_kv_test.cc" "tests/CMakeFiles/simnvm_test.dir/simnvm/mini_kv_test.cc.o" "gcc" "tests/CMakeFiles/simnvm_test.dir/simnvm/mini_kv_test.cc.o.d"
+  "/root/repo/tests/simnvm/observer_test.cc" "tests/CMakeFiles/simnvm_test.dir/simnvm/observer_test.cc.o" "gcc" "tests/CMakeFiles/simnvm_test.dir/simnvm/observer_test.cc.o.d"
+  "/root/repo/tests/simnvm/plan_model_test.cc" "tests/CMakeFiles/simnvm_test.dir/simnvm/plan_model_test.cc.o" "gcc" "tests/CMakeFiles/simnvm_test.dir/simnvm/plan_model_test.cc.o.d"
+  "/root/repo/tests/simnvm/sim_nvm_test.cc" "tests/CMakeFiles/simnvm_test.dir/simnvm/sim_nvm_test.cc.o" "gcc" "tests/CMakeFiles/simnvm_test.dir/simnvm/sim_nvm_test.cc.o.d"
+  "/root/repo/tests/simnvm/wsp_test.cc" "tests/CMakeFiles/simnvm_test.dir/simnvm/wsp_test.cc.o" "gcc" "tests/CMakeFiles/simnvm_test.dir/simnvm/wsp_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/simnvm/CMakeFiles/tsp_simnvm.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/tsp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/tsp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

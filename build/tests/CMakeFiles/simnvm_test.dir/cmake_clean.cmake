@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simnvm_test.dir/simnvm/mini_kv_test.cc.o"
+  "CMakeFiles/simnvm_test.dir/simnvm/mini_kv_test.cc.o.d"
+  "CMakeFiles/simnvm_test.dir/simnvm/observer_test.cc.o"
+  "CMakeFiles/simnvm_test.dir/simnvm/observer_test.cc.o.d"
+  "CMakeFiles/simnvm_test.dir/simnvm/plan_model_test.cc.o"
+  "CMakeFiles/simnvm_test.dir/simnvm/plan_model_test.cc.o.d"
+  "CMakeFiles/simnvm_test.dir/simnvm/sim_nvm_test.cc.o"
+  "CMakeFiles/simnvm_test.dir/simnvm/sim_nvm_test.cc.o.d"
+  "CMakeFiles/simnvm_test.dir/simnvm/wsp_test.cc.o"
+  "CMakeFiles/simnvm_test.dir/simnvm/wsp_test.cc.o.d"
+  "simnvm_test"
+  "simnvm_test.pdb"
+  "simnvm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simnvm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

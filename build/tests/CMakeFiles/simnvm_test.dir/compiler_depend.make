@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for simnvm_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/core_test[1]_include.cmake")
+include("/root/repo/build/tests/atlas_test[1]_include.cmake")
+include("/root/repo/build/tests/lockfree_test[1]_include.cmake")
+include("/root/repo/build/tests/domain_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/maps_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_test[1]_include.cmake")
+include("/root/repo/build/tests/faultsim_test[1]_include.cmake")
+include("/root/repo/build/tests/simnvm_test[1]_include.cmake")
+include("/root/repo/build/tests/pheap_test[1]_include.cmake")

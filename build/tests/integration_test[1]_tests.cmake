@@ -1,0 +1,3 @@
+add_test([=[MultiStructureTest.EverythingSurvivesCrashOnOneHeap]=]  /root/repo/build/tests/integration_test [==[--gtest_filter=MultiStructureTest.EverythingSurvivesCrashOnOneHeap]==] --gtest_also_run_disabled_tests)
+set_tests_properties([=[MultiStructureTest.EverythingSurvivesCrashOnOneHeap]=]  PROPERTIES WORKING_DIRECTORY /root/repo/build/tests SKIP_REGULAR_EXPRESSION [==[\[  SKIPPED \]]==] TIMEOUT 300)
+set(  integration_test_TESTS MultiStructureTest.EverythingSurvivesCrashOnOneHeap)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsp_inspect.dir/tsp_inspect.cc.o"
+  "CMakeFiles/tsp_inspect.dir/tsp_inspect.cc.o.d"
+  "tsp_inspect"
+  "tsp_inspect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsp_inspect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
