@@ -8,6 +8,7 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "atlas/address_set.h"
 #include "atlas/pmutex.h"
@@ -19,6 +20,7 @@ namespace {
 using tsp::PersistencePolicy;
 using tsp::atlas::AtlasRuntime;
 using tsp::atlas::AtlasThread;
+using tsp::atlas::PLockWord;
 using tsp::atlas::PMutex;
 using tsp::pheap::PersistentHeap;
 
@@ -82,7 +84,7 @@ void BM_LoggedStoreSameLocation(benchmark::State& state) {
   Env env(PersistencePolicy::TspLogOnly());
   auto* value = static_cast<std::uint64_t*>(env.heap->Alloc(8));
   AtlasThread* thread = env.runtime->CurrentThread();
-  std::atomic<std::uint64_t> word{0};
+  PLockWord word;
   thread->OnAcquire(&word, 1);
   std::uint64_t i = 0;
   for (auto _ : state) {
@@ -113,6 +115,40 @@ void BM_LoggedStoreUniqueLocations(benchmark::State& state) {
 }
 BENCHMARK(BM_LoggedStoreUniqueLocations);
 
+// Multi-word guarded store: all undo entries of one StoreBytes are
+// published as one batch — a single tail advance and (in sync-flush
+// mode) one contiguous write-back + one fence, instead of a flush and
+// fence per word entry. The log+flush instance is the E7 ablation that
+// batching targets.
+template <bool kFlush>
+void BM_StoreBytesBatch(benchmark::State& state) {
+  Env env(kFlush ? PersistencePolicy::SyncFlush()
+                 : PersistencePolicy::TspLogOnly());
+  const std::size_t bytes = static_cast<std::size_t>(state.range(0));
+  auto* dst = static_cast<char*>(env.heap->Alloc(bytes));
+  std::vector<char> src(bytes, 0x5A);
+  AtlasThread* thread = env.runtime->CurrentThread();
+  PMutex mutex(env.runtime.get());
+  for (auto _ : state) {
+    tsp::atlas::PMutexLock lock(&mutex);
+    thread->StoreBytes(dst, src.data(), bytes);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(bytes));
+  const tsp::atlas::AtlasRuntimeStats stats = thread->local_stats();
+  state.counters["batched_publishes"] =
+      static_cast<double>(stats.batched_publishes);
+  env.runtime->UnregisterCurrentThread();
+}
+BENCHMARK(BM_StoreBytesBatch<false>)
+    ->Name("BM_StoreBytesBatch/tsp-log-only")
+    ->Arg(64)
+    ->Arg(256);
+BENCHMARK(BM_StoreBytesBatch<true>)
+    ->Name("BM_StoreBytesBatch/log+flush")
+    ->Arg(64)
+    ->Arg(256);
+
 void BM_AddressSetInsert(benchmark::State& state) {
   tsp::atlas::AddressSet set;
   std::uint64_t i = 0;
@@ -130,7 +166,7 @@ BENCHMARK(BM_AddressSetInsert);
 void BM_CommitFastPath(benchmark::State& state) {
   Env env(PersistencePolicy::TspLogOnly());
   AtlasThread* thread = env.runtime->CurrentThread();
-  std::atomic<std::uint64_t> word{0};
+  PLockWord word;
   for (auto _ : state) {
     thread->OnAcquire(&word, 1);
     thread->OnRelease(&word, 1);
@@ -144,7 +180,7 @@ void BM_CommitPublishPath(benchmark::State& state) {
   Env env(PersistencePolicy::TspLogOnly());
   AtlasThread alice(env.runtime.get(), 40);
   AtlasThread bob(env.runtime.get(), 41);
-  std::atomic<std::uint64_t> word{0};
+  PLockWord word;
   for (auto _ : state) {
     // Alternate holders so every acquire sees a foreign, not-yet-stable
     // releaser → records a dep → publishes to the pruner.

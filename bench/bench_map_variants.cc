@@ -75,6 +75,20 @@ BENCHMARK_DEFINE_F(MapVariantBench, WorkloadIteration)
     map->Put(C2Key(thread), i);
   }
   state.SetItemsProcessed(state.iterations());
+  // Sequence-lease and publication counters (runtime-wide, reported
+  // once; zero for the unlogged variants). --benchmark_out=... carries
+  // them into the machine-readable JSON.
+  if (thread == 0 && session_->runtime() != nullptr) {
+    const tsp::atlas::AtlasRuntimeStats stats =
+        session_->runtime()->GetStats();
+    state.counters["undo_records"] =
+        static_cast<double>(stats.undo_records);
+    state.counters["seq_blocks_leased"] =
+        static_cast<double>(stats.seq_blocks_leased);
+    state.counters["seq_resyncs"] = static_cast<double>(stats.seq_resyncs);
+    state.counters["batched_publishes"] =
+        static_cast<double>(stats.batched_publishes);
+  }
 }
 
 BENCHMARK_REGISTER_F(MapVariantBench, WorkloadIteration)

@@ -21,6 +21,7 @@ namespace {
 using Clock = std::chrono::steady_clock;
 using tsp::atlas::AtlasRuntime;
 using tsp::atlas::AtlasThread;
+using tsp::atlas::PLockWord;
 using tsp::maps::MutexHashMap;
 using tsp::pheap::PersistentHeap;
 
@@ -51,7 +52,7 @@ void BenchRollback(std::uint64_t stores) {
     AtlasThread* thread = runtime.CurrentThread();
     auto* array = static_cast<std::uint64_t*>(heap->Alloc(stores * 8));
     heap->set_root(array);
-    std::atomic<std::uint64_t> word{0};
+    PLockWord word;
     thread->OnAcquire(&word, 1);
     for (std::uint64_t i = 0; i < stores; ++i) {
       thread->Store(&array[i], i + 1);

@@ -13,25 +13,35 @@
 // Absolute numbers depend on the host; the *shape* — native > log-only
 // > log+flush, with a substantial TSP gain — is the reproduced result.
 //
+// Besides the text table, the run is dumped as machine-readable JSON
+// (per-variant throughput, flush and sequence-lease counters, derived
+// percentages, shape verdict) for the plotting/CI tooling.
+//
 // Flags: --threads N (default 8, as in the paper)
 //        --iters N   (per thread, default 150000)
 //        --high N    (|H|, default 2^20 as in a "much larger" range)
+//        --json PATH (default results/table1.json; "" disables)
 
+#include <sys/stat.h>
 #include <unistd.h>
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 
+#include "atlas/runtime.h"
 #include "common/flush.h"
 #include "workload/map_session.h"
 #include "workload/workload.h"
 
 namespace {
 
+using tsp::atlas::AtlasRuntimeStats;
 using tsp::workload::MapSession;
 using tsp::workload::MapVariant;
+using tsp::workload::MapVariantName;
 using tsp::workload::RunMapWorkload;
 using tsp::workload::WorkloadOptions;
 using tsp::workload::WorkloadResult;
@@ -41,16 +51,18 @@ struct Row {
   MapVariant variant;
   double miters = 0;
   std::uint64_t lines_flushed = 0;
+  std::uint64_t fences = 0;
+  /// Atlas counters; all zero for the unlogged variants.
+  AtlasRuntimeStats atlas;
 };
 
-double RunVariant(MapVariant variant, const WorkloadOptions& workload,
-                  std::uint64_t* lines_flushed) {
+void RunVariant(const WorkloadOptions& workload, Row* row) {
   const std::string path =
       "/dev/shm/tsp_table1_" + std::to_string(getpid()) + ".heap";
   unlink(path.c_str());
 
   MapSession::Config config;
-  config.variant = variant;
+  config.variant = row->variant;
   config.path = path;
   config.heap_size = 1536ULL * 1024 * 1024;
   config.runtime_area_size = 64 * 1024 * 1024;
@@ -67,12 +79,85 @@ double RunVariant(MapVariant variant, const WorkloadOptions& workload,
   tsp::GlobalFlushStats().Reset();
   const WorkloadResult result =
       RunMapWorkload((*session)->map(), workload);
-  *lines_flushed = tsp::GlobalFlushStats().lines_flushed.load();
+  row->miters = result.millions_iter_per_sec;
+  row->lines_flushed = tsp::GlobalFlushStats().lines_flushed.load();
+  row->fences = tsp::GlobalFlushStats().fences.load();
+  if ((*session)->runtime() != nullptr) {
+    row->atlas = (*session)->runtime()->GetStats();
+  }
 
   (*session)->CloseClean();
   session->reset();
   unlink(path.c_str());
-  return result.millions_iter_per_sec;
+}
+
+/// Writes results as JSON. No dependency-free JSON library in-tree, and
+/// the structure is flat, so emit it by hand.
+bool WriteJson(const std::string& json_path, const WorkloadOptions& workload,
+               const Row* rows, std::size_t row_count, double native,
+               double log_only, double log_flush, bool shape_holds) {
+  const std::size_t slash = json_path.rfind('/');
+  if (slash != std::string::npos) {
+    const std::string dir = json_path.substr(0, slash);
+    if (!dir.empty() && mkdir(dir.c_str(), 0755) != 0 && errno != EEXIST) {
+      std::fprintf(stderr, "cannot create %s: %s\n", dir.c_str(),
+                   std::strerror(errno));
+      return false;
+    }
+  }
+  std::FILE* f = std::fopen(json_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s: %s\n", json_path.c_str(),
+                 std::strerror(errno));
+    return false;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"benchmark\": \"table1\",\n");
+  std::fprintf(f, "  \"threads\": %d,\n", workload.threads);
+  std::fprintf(f, "  \"iterations_per_thread\": %llu,\n",
+               static_cast<unsigned long long>(
+                   workload.iterations_per_thread));
+  std::fprintf(f, "  \"high_range\": %llu,\n",
+               static_cast<unsigned long long>(workload.high_range));
+  std::fprintf(f, "  \"flush_instruction\": \"%s\",\n",
+               tsp::FlushInstructionName(tsp::BestFlushInstruction()));
+  std::fprintf(f, "  \"variants\": [\n");
+  for (std::size_t i = 0; i < row_count; ++i) {
+    const Row& row = rows[i];
+    std::fprintf(f, "    {\n");
+    std::fprintf(f, "      \"variant\": \"%s\",\n",
+                 MapVariantName(row.variant));
+    std::fprintf(f, "      \"label\": \"%s\",\n", row.label);
+    std::fprintf(f, "      \"miters_per_sec\": %.6f,\n", row.miters);
+    std::fprintf(f, "      \"lines_flushed\": %llu,\n",
+                 static_cast<unsigned long long>(row.lines_flushed));
+    std::fprintf(f, "      \"fences\": %llu,\n",
+                 static_cast<unsigned long long>(row.fences));
+    std::fprintf(f, "      \"undo_records\": %llu,\n",
+                 static_cast<unsigned long long>(row.atlas.undo_records));
+    std::fprintf(f, "      \"seq_blocks_leased\": %llu,\n",
+                 static_cast<unsigned long long>(
+                     row.atlas.seq_blocks_leased));
+    std::fprintf(f, "      \"seq_resyncs\": %llu,\n",
+                 static_cast<unsigned long long>(row.atlas.seq_resyncs));
+    std::fprintf(f, "      \"batched_publishes\": %llu\n",
+                 static_cast<unsigned long long>(
+                     row.atlas.batched_publishes));
+    std::fprintf(f, "    }%s\n", i + 1 < row_count ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"derived\": {\n");
+  std::fprintf(f, "    \"log_only_overhead_pct\": %.2f,\n",
+               (1 - log_only / native) * 100);
+  std::fprintf(f, "    \"log_flush_overhead_pct\": %.2f,\n",
+               (1 - log_flush / native) * 100);
+  std::fprintf(f, "    \"tsp_gain_pct\": %.2f\n",
+               (log_only / log_flush - 1) * 100);
+  std::fprintf(f, "  },\n");
+  std::fprintf(f, "  \"shape_holds\": %s\n", shape_holds ? "true" : "false");
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  return true;
 }
 
 }  // namespace
@@ -82,6 +167,7 @@ int main(int argc, char** argv) {
   workload.threads = 8;
   workload.iterations_per_thread = 150000;
   workload.high_range = 1 << 20;
+  std::string json_path = "results/table1.json";
   for (int i = 1; i + 1 < argc; i += 2) {
     if (std::strcmp(argv[i], "--threads") == 0) {
       workload.threads = std::atoi(argv[i + 1]);
@@ -90,6 +176,8 @@ int main(int argc, char** argv) {
           std::strtoull(argv[i + 1], nullptr, 0);
     } else if (std::strcmp(argv[i], "--high") == 0) {
       workload.high_range = std::strtoull(argv[i + 1], nullptr, 0);
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      json_path = argv[i + 1];
     }
   }
 
@@ -99,6 +187,7 @@ int main(int argc, char** argv) {
       {"log + flush (non-TSP)", MapVariant::kMutexLogFlush},
       {"non-blocking skip list", MapVariant::kLockFreeSkipList},
   };
+  constexpr std::size_t kRowCount = sizeof(rows) / sizeof(rows[0]);
 
   std::printf("Table 1 reproduction: map workload, %d worker threads, "
               "|H|=%llu, %llu iterations/thread\n",
@@ -108,12 +197,16 @@ int main(int argc, char** argv) {
                   workload.iterations_per_thread));
   std::printf("(each iteration = 3 atomic map operations; flush insn: %s)\n\n",
               tsp::FlushInstructionName(tsp::BestFlushInstruction()));
-  std::printf("  %-26s %14s %16s\n", "variant", "Miter/s", "lines flushed");
+  std::printf("  %-26s %14s %16s %14s %12s\n", "variant", "Miter/s",
+              "lines flushed", "seq leases", "resyncs");
 
   for (Row& row : rows) {
-    row.miters = RunVariant(row.variant, workload, &row.lines_flushed);
-    std::printf("  %-26s %14.3f %16llu\n", row.label, row.miters,
-                static_cast<unsigned long long>(row.lines_flushed));
+    RunVariant(workload, &row);
+    std::printf("  %-26s %14.3f %16llu %14llu %12llu\n", row.label,
+                row.miters,
+                static_cast<unsigned long long>(row.lines_flushed),
+                static_cast<unsigned long long>(row.atlas.seq_blocks_leased),
+                static_cast<unsigned long long>(row.atlas.seq_resyncs));
   }
 
   const double native = rows[0].miters;
@@ -133,5 +226,11 @@ int main(int argc, char** argv) {
   const bool shape_holds = native > log_only && log_only > log_flush;
   std::printf("\nshape check (native > log-only > log+flush): %s\n",
               shape_holds ? "HOLDS" : "VIOLATED");
+
+  if (!json_path.empty() &&
+      WriteJson(json_path, workload, rows, kRowCount, native, log_only,
+                log_flush, shape_holds)) {
+    std::printf("json results written to %s\n", json_path.c_str());
+  }
   return shape_holds ? 0 : 1;
 }

@@ -4,15 +4,20 @@
 // The log lives in the persistent region's runtime area, so log entries
 // written before a crash are recoverable under exactly the same TSP
 // guarantee as application data. Each registered thread owns a ring of
-// fixed-size entries; a global sequence counter (in the RegionHeader)
-// totally orders entries across threads so recovery can apply undo
-// records in reverse global order.
+// fixed-size entries; undo records carry stamps leased in per-thread
+// blocks from a global sequence counter (in the RegionHeader). Stamps
+// are therefore *sparse* and only partially ordered across threads, but
+// a Lamport-clock resync at every lock acquisition (see
+// AtlasThread::OnAcquire) guarantees the order recovery needs: along
+// every lock release→acquire chain, stamps strictly increase, so undo
+// records racing on the same location replay correctly in reverse-stamp
+// order.
 //
 // Publication protocol (crash safety without flushes, given TSP's
-// strict-prefix-of-stores guarantee): an entry's bytes are fully written
-// *before* the owning ring's tail index is advanced. Recovery trusts
-// only entries below the persisted tail, so a crash mid-append simply
-// drops the torn entry.
+// strict-prefix-of-stores guarantee): a batch of entries' bytes is
+// fully written *before* the owning ring's tail index is advanced past
+// it. Recovery trusts only entries below the persisted tail, so a crash
+// mid-append simply drops the torn batch.
 
 #ifndef TSP_ATLAS_LOG_LAYOUT_H_
 #define TSP_ATLAS_LOG_LAYOUT_H_
@@ -34,7 +39,8 @@ enum class EntryKind : std::uint8_t {
   /// (thread, ocs) of the previous releaser (0 = none): a dependency
   /// edge for cascading rollback.
   kAcquire,
-  /// Mutex released; aux = lock id, payload = current OCS id.
+  /// Mutex released; aux = lock id, payload = current OCS id, seq = the
+  /// releaser's sequence-stamp frontier at release time (diagnostics).
   kRelease,
   /// Undo record: addr_offset = region offset of the stored-to word,
   /// payload = the *old* value (1..8 bytes, in `size`).
@@ -62,7 +68,7 @@ constexpr std::uint64_t UnpackOcs(std::uint64_t packed) {
 
 /// One undo-log record. 32 bytes; two per cache line.
 struct LogEntry {
-  std::uint64_t seq;         // global stamp (from RegionHeader)
+  std::uint64_t seq;         // leased stamp (kStore), frontier (kRelease)
   std::uint64_t addr_offset; // target region offset (kStore/kAlloc)
   std::uint64_t payload;     // old value / OCS id / dependency
   EntryKind kind;

@@ -37,21 +37,21 @@ class PMutex {
   void lock() {
     mutex_.lock();
     if (runtime_ != nullptr && runtime_->policy().logging_enabled()) {
-      runtime_->CurrentThread()->OnAcquire(&last_release_, lock_id_);
+      runtime_->CurrentThread()->OnAcquire(&lock_word_, lock_id_);
     }
   }
 
   bool try_lock() {
     if (!mutex_.try_lock()) return false;
     if (runtime_ != nullptr && runtime_->policy().logging_enabled()) {
-      runtime_->CurrentThread()->OnAcquire(&last_release_, lock_id_);
+      runtime_->CurrentThread()->OnAcquire(&lock_word_, lock_id_);
     }
     return true;
   }
 
   void unlock() {
     if (runtime_ != nullptr && runtime_->policy().logging_enabled()) {
-      runtime_->CurrentThread()->OnRelease(&last_release_, lock_id_);
+      runtime_->CurrentThread()->OnRelease(&lock_word_, lock_id_);
     }
     mutex_.unlock();
   }
@@ -61,10 +61,9 @@ class PMutex {
 
  private:
   std::mutex mutex_;
-  /// Packed (thread, ocs) of the most recent releaser; the dependency
-  /// channel between OCSes. Volatile by design: dependencies matter only
-  /// within a session (the log records them persistently).
-  std::atomic<std::uint64_t> last_release_{0};
+  /// Most recent releaser's identity and sequence-stamp frontier; the
+  /// dependency + stamp-ordering channel between OCSes (see PLockWord).
+  PLockWord lock_word_;
   AtlasRuntime* runtime_;
   std::uint32_t lock_id_;
 };

@@ -190,6 +190,15 @@ StatusOr<RecoveryStats> RecoverAtlas(pheap::PersistentHeap* heap) {
     if (!record.rolled_back) continue;
     undo.insert(undo.end(), record.undo.begin(), record.undo.end());
   }
+  // Leased stamps are sparse (handed out in per-thread blocks of the
+  // global counter) and unique per undo record; only their relative
+  // order matters here. Records racing on the same location are always
+  // ordered consistently with the actual write order: same-thread
+  // records by lease monotonicity, cross-thread records because the
+  // locks serializing the writes force a stamp resync at every
+  // release→acquire edge. Reverse-stamp replay therefore restores each
+  // location's oldest overwritten value last, exactly as with dense
+  // per-record stamps.
   std::sort(undo.begin(), undo.end(),
             [](const UndoRecord& a, const UndoRecord& b) {
               return a.seq > b.seq;

@@ -37,6 +37,7 @@ AtlasRuntime::~AtlasRuntime() {
 }
 
 Status AtlasRuntime::Initialize() {
+  if (options_.seq_block_size == 0) options_.seq_block_size = 1;
   if (heap_->needs_recovery()) {
     return Status::FailedPrecondition(
         "heap needs recovery; run RecoverAtlas before Initialize");
@@ -96,6 +97,9 @@ AtlasRuntimeStats AtlasRuntime::GetStats() {
     total.fast_path_commits += s.fast_path_commits;
     total.published_commits += s.published_commits;
     total.deps_recorded += s.deps_recorded;
+    total.seq_blocks_leased += s.seq_blocks_leased;
+    total.seq_resyncs += s.seq_resyncs;
+    total.batched_publishes += s.batched_publishes;
   }
   total.pending_unstable = stability_ ? stability_->PendingCount() : 0;
   return total;
@@ -144,7 +148,7 @@ AtlasThread::AtlasThread(AtlasRuntime* runtime, std::uint16_t thread_id)
       slot_(runtime->area().slot(thread_id)),
       thread_id_(thread_id) {}
 
-void AtlasThread::LogOldValue(const void* addr, std::uint8_t size) {
+void AtlasThread::StageOldValue(const void* addr, std::uint8_t size) {
   const std::uint64_t offset = runtime_->heap()->region()->ToOffset(addr);
   if (!logged_addresses_.InsertIfAbsent(offset)) {
     ++stats_.dedup_hits;
@@ -153,31 +157,72 @@ void AtlasThread::LogOldValue(const void* addr, std::uint8_t size) {
   std::uint64_t old_value = 0;
   std::memcpy(&old_value, addr, size);
   ++stats_.undo_records;
-  AppendEntry(EntryKind::kStore, size, 0, offset, old_value);
+  StageEntry(EntryKind::kStore, size, 0, offset, old_value);
+}
+
+void AtlasThread::LogOldValue(const void* addr, std::uint8_t size) {
+  StageOldValue(addr, size);
+  PublishStaged(/*ordered=*/true);
 }
 
 void AtlasThread::StoreBytes(void* dst, const void* src, std::size_t n) {
-  auto* out = static_cast<char*>(dst);
-  const auto* in = static_cast<const char*>(src);
-  while (n > 0) {
-    const std::uint8_t chunk = static_cast<std::uint8_t>(n < 8 ? n : 8);
-    if (depth_ > 0) LogOldValue(out, chunk);
-    std::memcpy(out, in, chunk);
-    out += chunk;
-    in += chunk;
-    n -= chunk;
+  if (depth_ > 0) {
+    // Stage the undo records for every not-yet-logged word of the range,
+    // then publish them as one batch: a single tail advance and, in
+    // sync-flush mode, one contiguous write-back plus one fence — the
+    // whole batch is durable before any of the guarded stores execute
+    // (§4.2), at a fraction of the per-entry flush + fence cost.
+    const auto* cursor = static_cast<const char*>(dst);
+    std::size_t remaining = n;
+    while (remaining > 0) {
+      const std::uint8_t chunk =
+          static_cast<std::uint8_t>(remaining < 8 ? remaining : 8);
+      StageOldValue(cursor, chunk);
+      cursor += chunk;
+      remaining -= chunk;
+    }
+    PublishStaged(/*ordered=*/true);
   }
+  std::memcpy(dst, src, n);
 }
 
-void AtlasThread::OnAcquire(std::atomic<std::uint64_t>* lock_word,
-                            std::uint32_t lock_id) {
+std::uint64_t AtlasThread::IssueSeq() {
+  if (TSP_PREDICT_FALSE(seq_next_ == seq_limit_)) {
+    seq_next_ = runtime_->LeaseSeqBlock();
+    seq_limit_ = seq_next_ + runtime_->seq_block_size();
+    ++stats_.seq_blocks_leased;
+  }
+  // seq_next_ > seq_frontier_ here (a fresh lease starts past every
+  // stamp ever issued from the shared counter; OnAcquire discards any
+  // lease an observed frontier overtakes), so stamps strictly increase
+  // along every happens-before path.
+  const std::uint64_t seq = seq_next_++;
+  seq_frontier_ = seq;
+  return seq;
+}
+
+void AtlasThread::OnAcquire(PLockWord* lock, std::uint32_t lock_id) {
   if (depth_++ == 0) {
     current_ocs_ = slot_->next_ocs.fetch_add(1, std::memory_order_relaxed);
     logged_addresses_.NewEpoch();
     current_deps_.clear();
     current_ocs_begin_tail_ = slot_->tail.load(std::memory_order_relaxed);
   }
-  const std::uint64_t dep = lock_word->load(std::memory_order_acquire);
+  // Lamport resync: adopt the previous releaser's stamp frontier. If it
+  // overtook our lease, discard the lease's remainder so the next stamp
+  // we issue (from a fresh block) exceeds every stamp issued before the
+  // release — the ordering recovery's reverse-stamp replay relies on for
+  // undo records to the same location.
+  const std::uint64_t observed =
+      lock->release_seq.load(std::memory_order_acquire);
+  if (observed > seq_frontier_) {
+    seq_frontier_ = observed;
+    if (seq_next_ != seq_limit_ && seq_next_ <= seq_frontier_) {
+      seq_next_ = seq_limit_;  // spent; IssueSeq re-leases
+      ++stats_.seq_resyncs;
+    }
+  }
+  const std::uint64_t dep = lock->last_release.load(std::memory_order_acquire);
   // Record a dependency edge unless the previous releasing OCS can
   // never be rolled back (already stable) or is our own (same-thread
   // program order is an implicit dependency recovery always honors).
@@ -194,14 +239,17 @@ void AtlasThread::OnAcquire(std::atomic<std::uint64_t>* lock_word,
   AppendEntry(EntryKind::kAcquire, 0, lock_id, current_ocs_, recorded_dep);
 }
 
-void AtlasThread::OnRelease(std::atomic<std::uint64_t>* lock_word,
-                            std::uint32_t lock_id) {
+void AtlasThread::OnRelease(PLockWord* lock, std::uint32_t lock_id) {
   TSP_DCHECK_GT(depth_, 0);
   AppendEntry(EntryKind::kRelease, 0, lock_id, current_ocs_, current_ocs_);
   // Publish ourselves as the last releaser while still holding the
-  // mutex: the next acquirer depends on this OCS.
-  lock_word->store(PackThreadOcs(thread_id_, current_ocs_),
-                   std::memory_order_release);
+  // mutex: the next acquirer depends on this OCS, and must order every
+  // stamp it issues after this acquire past our whole causal past
+  // (seq_frontier_, not just our own issued stamps — an OCS that issues
+  // no stamps still relays frontiers it observed).
+  lock->release_seq.store(seq_frontier_, std::memory_order_release);
+  lock->last_release.store(PackThreadOcs(thread_id_, current_ocs_),
+                           std::memory_order_release);
   if (--depth_ == 0) {
     // The outermost release IS the commit record.
     ++stats_.ocses_committed;
@@ -246,18 +294,21 @@ void AtlasThread::DeferFree(void* payload) {
   current_deferred_frees_.push_back(payload);
 }
 
-void AtlasThread::AppendEntry(EntryKind kind, std::uint8_t size,
-                              std::uint32_t aux, std::uint64_t addr_offset,
-                              std::uint64_t payload) {
+LogEntry* AtlasThread::StageEntry(EntryKind kind, std::uint8_t size,
+                                  std::uint32_t aux,
+                                  std::uint64_t addr_offset,
+                                  std::uint64_t payload) {
   const std::uint64_t capacity = runtime_->area().entries_per_thread();
-  std::uint64_t tail = slot_->tail.load(std::memory_order_relaxed);
-  if (TSP_PREDICT_FALSE(tail - slot_->head.load(std::memory_order_acquire) >=
-                        capacity)) {
+  const std::uint64_t position =
+      slot_->tail.load(std::memory_order_relaxed) + staged_;
+  if (TSP_PREDICT_FALSE(
+          position - slot_->head.load(std::memory_order_acquire) >=
+          capacity)) {
+    // Only head moves while we wait; position stays valid.
     HandleRingFull();
-    tail = slot_->tail.load(std::memory_order_relaxed);
   }
-  ++stats_.log_entries_appended;
-  LogEntry* entry = runtime_->area().entry(thread_id_, tail);
+  ++staged_;
+  LogEntry* entry = runtime_->area().entry(thread_id_, position);
   entry->addr_offset = addr_offset;
   entry->payload = payload;
   entry->kind = kind;
@@ -265,15 +316,47 @@ void AtlasThread::AppendEntry(EntryKind kind, std::uint8_t size,
   entry->thread_id = thread_id_;
   entry->aux = aux;
   // Only undo records participate in the cross-thread reverse-order
-  // replay; control entries skip the shared sequence counter.
-  entry->seq = kind == EntryKind::kStore ? runtime_->NextSeq() : 0;
-  // Publish: recovery only trusts entries below tail, so the entry is
-  // complete before it becomes visible.
-  slot_->tail.store(tail + 1, std::memory_order_release);
-  // Non-TSP mode pays for durability here; undo records must be
-  // durable before the guarded store is allowed to proceed (§4.2).
-  runtime_->policy().PersistLogBytes(entry, sizeof(LogEntry),
-                                     kind == EntryKind::kStore);
+  // replay; they are stamped from the thread's leased block. Release
+  // entries record the stamp frontier for diagnostics (tsp_inspect);
+  // other control entries carry no stamp.
+  entry->seq = kind == EntryKind::kStore    ? IssueSeq()
+               : kind == EntryKind::kRelease ? seq_frontier_
+                                             : 0;
+  return entry;
+}
+
+void AtlasThread::PublishStaged(bool ordered) {
+  const std::uint32_t count = staged_;
+  if (count == 0) return;  // everything dedup'd away; nothing new to order
+  staged_ = 0;
+  const std::uint64_t first = slot_->tail.load(std::memory_order_relaxed);
+  stats_.log_entries_appended += count;
+  if (count > 1) ++stats_.batched_publishes;
+  // Publish: recovery only trusts entries below tail, so every staged
+  // entry is complete before any of them becomes visible.
+  slot_->tail.store(first + count, std::memory_order_release);
+  // Non-TSP mode pays for durability here; undo records must be durable
+  // before their guarded stores are allowed to proceed (§4.2). The
+  // staged range is contiguous in the ring except across the wrap, and
+  // is ordered by a single trailing fence (E7 log batching).
+  const PersistencePolicy& policy = runtime_->policy();
+  const std::uint64_t capacity = runtime_->area().entries_per_thread();
+  const std::uint64_t until_wrap = capacity - first % capacity;
+  const std::uint64_t first_run = count < until_wrap ? count : until_wrap;
+  policy.FlushLogBytes(runtime_->area().entry(thread_id_, first),
+                       first_run * sizeof(LogEntry));
+  if (count > first_run) {
+    policy.FlushLogBytes(runtime_->area().entry(thread_id_, first + first_run),
+                         (count - first_run) * sizeof(LogEntry));
+  }
+  if (ordered) policy.OrderLogPublication();
+}
+
+void AtlasThread::AppendEntry(EntryKind kind, std::uint8_t size,
+                              std::uint32_t aux, std::uint64_t addr_offset,
+                              std::uint64_t payload) {
+  StageEntry(kind, size, aux, addr_offset, payload);
+  PublishStaged(kind == EntryKind::kStore);
 }
 
 void AtlasThread::HandleRingFull() {
@@ -286,7 +369,8 @@ void AtlasThread::HandleRingFull() {
   for (;;) {
     runtime_->StabilizeNow();
     const std::uint64_t head = slot_->head.load(std::memory_order_acquire);
-    if (slot_->tail.load(std::memory_order_relaxed) - head < capacity) {
+    if (slot_->tail.load(std::memory_order_relaxed) + staged_ - head <
+        capacity) {
       return;
     }
     if (depth_ > 0 && head >= current_ocs_begin_tail_) {

@@ -16,9 +16,16 @@
 //     correct whenever a TSP rescue guarantees recovery reads the most
 //     recent state of persistent memory (always true for process
 //     crashes on file-backed mappings).
-//   * PersistencePolicy::SyncFlush() — each entry is synchronously
-//     flushed + fenced before the guarded store proceeds; required when
-//     TSP is not available.
+//   * PersistencePolicy::SyncFlush() — undo entries are synchronously
+//     flushed + fenced before the guarded store proceeds (batched: one
+//     write-back + fence per published entry range, not per entry);
+//     required when TSP is not available.
+//
+// Sequence stamps: undo records carry stamps from per-thread *leased
+// blocks* of the shared persistent counter (AtlasRuntime::LeaseSeqBlock)
+// rather than a per-record fetch_add, with a Lamport-clock resync at
+// lock acquisition keeping stamps consistent with lock order. See
+// AtlasThread::OnAcquire / IssueSeq and DESIGN.md §5 "Consistent cut".
 
 #ifndef TSP_ATLAS_RUNTIME_H_
 #define TSP_ATLAS_RUNTIME_H_
@@ -55,6 +62,28 @@ struct AtlasRuntimeStats {
   std::uint64_t published_commits = 0;  // handed to the pruner
   std::uint64_t deps_recorded = 0;
   std::uint64_t pending_unstable = 0;  // current pruner backlog
+  /// Sequence-lease counters: blocks of stamps taken from the shared
+  /// global_sequence counter (one contended fetch_add each), and leases
+  /// discarded at acquire time because the previous releaser's stamp
+  /// frontier overtook them. seq_blocks_leased ≪ undo_records is the
+  /// point of leasing.
+  std::uint64_t seq_blocks_leased = 0;
+  std::uint64_t seq_resyncs = 0;
+  /// Multi-entry log publications (one tail advance + at most one fence
+  /// for a whole guarded multi-word store).
+  std::uint64_t batched_publishes = 0;
+};
+
+/// Volatile per-lock dependency channel, written by each releaser while
+/// it still holds the mutex. `last_release` identifies the previous
+/// releasing OCS (the rollback dependency edge); `release_seq` carries
+/// the releaser's sequence-stamp frontier so acquirers keep leased
+/// stamps consistent with lock order (Lamport-clock resync — see
+/// AtlasThread::OnAcquire). Volatile by design: dependencies matter only
+/// within a session (the log records them persistently).
+struct PLockWord {
+  std::atomic<std::uint64_t> last_release{0};
+  std::atomic<std::uint64_t> release_seq{0};
 };
 
 /// Per-thread logging context. Obtain via AtlasRuntime::CurrentThread();
@@ -78,13 +107,16 @@ class AtlasThread {
     *addr = value;
   }
 
-  /// Logged equivalent of memcpy into the persistent heap (splits the
-  /// undo record into word-sized entries).
+  /// Logged equivalent of memcpy into the persistent heap. The undo
+  /// record is split into word-sized entries, but all entries of the
+  /// store are published as one batch: a single tail advance and, in
+  /// sync-flush mode, one contiguous write-back plus one fence for the
+  /// whole range (instead of a flush + fence per entry).
   void StoreBytes(void* dst, const void* src, std::size_t n);
 
   /// Mutex hooks (called by PMutex with its mutex held).
-  void OnAcquire(std::atomic<std::uint64_t>* lock_word, std::uint32_t lock_id);
-  void OnRelease(std::atomic<std::uint64_t>* lock_word, std::uint32_t lock_id);
+  void OnAcquire(PLockWord* lock, std::uint32_t lock_id);
+  void OnRelease(PLockWord* lock, std::uint32_t lock_id);
 
   /// Records an allocation made inside the current OCS (diagnostics;
   /// reclamation is the recovery GC's job either way).
@@ -102,16 +134,44 @@ class AtlasThread {
   std::uint64_t current_ocs() const { return current_ocs_; }
   const AtlasRuntimeStats& local_stats() const { return stats_; }
 
+  /// Highest sequence stamp this thread has issued or observed through
+  /// a lock acquisition (its Lamport frontier). Exposed for tests.
+  std::uint64_t seq_frontier() const { return seq_frontier_; }
+
  private:
   void LogOldValue(const void* addr, std::uint8_t size);
+  /// Dedup-filters and stages (without publishing) one undo record.
+  void StageOldValue(const void* addr, std::uint8_t size);
+  /// Writes one entry at tail + staged count; visible only after
+  /// PublishStaged. Waits on HandleRingFull when the ring is full.
+  LogEntry* StageEntry(EntryKind kind, std::uint8_t size, std::uint32_t aux,
+                       std::uint64_t addr_offset, std::uint64_t payload);
+  /// Publishes all staged entries with one tail advance; in sync-flush
+  /// mode writes back the staged range and, when `ordered`, fences once.
+  void PublishStaged(bool ordered);
+  /// Stage + publish a single entry.
   void AppendEntry(EntryKind kind, std::uint8_t size, std::uint32_t aux,
                    std::uint64_t addr_offset, std::uint64_t payload);
+  /// Stamps the next undo record from the thread's leased block, taking
+  /// a fresh block from the shared counter when the lease is spent.
+  std::uint64_t IssueSeq();
   void HandleRingFull();
 
   AtlasRuntime* runtime_;
   ThreadLogHeader* slot_;
   std::uint16_t thread_id_;
   int depth_ = 0;
+  /// Entries written past tail_ but not yet published.
+  std::uint32_t staged_ = 0;
+  /// Leased sequence-stamp block: [seq_next_, seq_limit_). Empty when
+  /// equal; IssueSeq then leases a fresh block.
+  std::uint64_t seq_next_ = 0;
+  std::uint64_t seq_limit_ = 0;
+  /// Invariant: seq_next_ > seq_frontier_ whenever the lease is
+  /// non-empty, so every stamp issued exceeds everything in this
+  /// thread's causal past (OnAcquire restores it by discarding the
+  /// lease when an observed release frontier overtakes it).
+  std::uint64_t seq_frontier_ = 0;
   std::uint64_t current_ocs_ = 0;
   /// Ring index of the current OCS's kOcsBegin entry; when the ring head
   /// catches up to it while full, the OCS alone overflows the ring.
@@ -132,6 +192,12 @@ class AtlasRuntime {
     /// Interval between background log-pruning passes. 0 disables the
     /// pruner thread (threads then prune inline only when a ring fills).
     std::uint32_t prune_interval_us = 200;
+    /// Stamps leased per block from the shared persistent
+    /// global_sequence counter: one contended fetch_add per
+    /// seq_block_size undo records instead of one per record. 1
+    /// degenerates to the dense per-entry scheme (useful as an
+    /// ablation); 0 is clamped to 1.
+    std::uint32_t seq_block_size = 64;
   };
 
   AtlasRuntime(pheap::PersistentHeap* heap, PersistencePolicy policy);
@@ -168,11 +234,16 @@ class AtlasRuntime {
   StabilityManager* stability() const { return stability_.get(); }
   bool initialized() const { return initialized_; }
 
-  /// Stamps the next global sequence number (persistent counter).
-  std::uint64_t NextSeq() {
+  /// Leases a block of Options::seq_block_size sequence stamps from the
+  /// persistent global counter, returning the block's first stamp. The
+  /// only cross-thread contention point of the logging fast path; called
+  /// once per block, not per undo record.
+  std::uint64_t LeaseSeqBlock() {
     return heap_->region()->header()->global_sequence.fetch_add(
-        1, std::memory_order_relaxed);
+        options_.seq_block_size, std::memory_order_relaxed);
   }
+
+  std::uint32_t seq_block_size() const { return options_.seq_block_size; }
 
   /// Hands out process-unique lock ids for diagnostics.
   std::uint32_t AssignLockId() {

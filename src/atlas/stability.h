@@ -27,8 +27,8 @@ namespace tsp::atlas {
 /// Record published by a thread when an OCS commits.
 struct CommittedOcs {
   std::uint64_t ocs_id = 0;
-  /// Ring tail just past this OCS's kOcsCommit entry; the ring head can
-  /// move here once the OCS is stable.
+  /// Ring tail just past this OCS's outermost kRelease entry (its
+  /// commit record); the ring head can move here once the OCS is stable.
   std::uint64_t end_tail = 0;
   /// Packed (thread, ocs) dependencies recorded at acquire time.
   std::vector<std::uint64_t> deps;

@@ -83,6 +83,21 @@ class PersistencePolicy {
     if (ordered) StoreFence();
   }
 
+  /// Unordered write-back of a contiguous log range: batched publication
+  /// flushes each contiguous run of a published entry batch with this,
+  /// then orders the whole batch with a single OrderLogPublication
+  /// fence (instead of a flush + fence per entry).
+  TSP_ALWAYS_INLINE void FlushLogBytes(const void* p, std::size_t n) const {
+    PersistLogBytes(p, n, /*ordered=*/false);
+  }
+
+  /// One store fence covering every FlushLogBytes since the previous
+  /// fence. No-op outside kLogAndFlush mode.
+  TSP_ALWAYS_INLINE void OrderLogPublication() const {
+    if (TSP_PREDICT_TRUE(mode_ != PersistenceMode::kLogAndFlush)) return;
+    StoreFence();
+  }
+
  private:
   PersistenceMode mode_ = PersistenceMode::kNone;
   FlushInstruction insn_ = FlushInstruction::kNone;

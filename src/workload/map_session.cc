@@ -79,6 +79,7 @@ Status MapSession::Init() {
             : PersistencePolicy::SyncFlush();
     atlas::AtlasRuntime::Options runtime_options;
     runtime_options.prune_interval_us = config_.prune_interval_us;
+    runtime_options.seq_block_size = config_.seq_block_size;
     runtime_ = std::make_unique<atlas::AtlasRuntime>(heap_.get(), policy,
                                                      runtime_options);
     TSP_RETURN_IF_ERROR(runtime_->Initialize());

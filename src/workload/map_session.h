@@ -46,6 +46,9 @@ class MapSession {
     maps::MutexHashMap::Options hash_options;
     /// Background log-pruner interval (mutex+Atlas variants).
     std::uint32_t prune_interval_us = 200;
+    /// Sequence stamps leased per block from the global counter
+    /// (mutex+Atlas variants); see AtlasRuntime::Options.
+    std::uint32_t seq_block_size = 64;
   };
 
   /// Opens (creating if absent) the heap at config.path, runs recovery

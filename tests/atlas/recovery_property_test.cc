@@ -82,10 +82,11 @@ TEST_P(RecoveryPropertyTest, RandomHistoriesRecoverSoundly) {
           &runtime, static_cast<std::uint16_t>(10 + c)));
     }
     // Simulated lock words + who last released each lock.
-    std::atomic<std::uint64_t> lock_words[kLocks];
+    PLockWord lock_words[kLocks];
     std::pair<int, int> last_releaser[kLocks];  // (context, ocs index)
     for (int l = 0; l < kLocks; ++l) {
-      lock_words[l].store(0);
+      lock_words[l].last_release.store(0);
+      lock_words[l].release_seq.store(0);
       last_releaser[l] = {-1, -1};
     }
     // Per-context open state.

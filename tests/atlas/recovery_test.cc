@@ -137,7 +137,7 @@ TEST_F(AtlasRecoveryTest, InterruptedOcsIsRolledBack) {
     TestRoot* root = session.root();
 
     // One committed OCS.
-    std::atomic<std::uint64_t> word{0};
+    PLockWord word;
     thread->OnAcquire(&word, 1);
     thread->Store(&root->values[0], std::uint64_t{10});
     thread->OnRelease(&word, 1);
@@ -166,7 +166,7 @@ TEST_F(AtlasRecoveryTest, RepeatedStoresRollBackToOcsEntryValue) {
     TestRoot* root = session.root();
     root->values[2] = 5;
 
-    std::atomic<std::uint64_t> word{0};
+    PLockWord word;
     thread->OnAcquire(&word, 1);
     // Many stores to one location: only the first old value matters.
     for (std::uint64_t i = 0; i < 50; ++i) {
@@ -187,7 +187,7 @@ TEST_F(AtlasRecoveryTest, CompletedDependentOcsCascades) {
 
     AtlasThread a(session.runtime(), 20);
     AtlasThread b(session.runtime(), 21);
-    std::atomic<std::uint64_t> outer{0}, shared{0};
+    PLockWord outer, shared;
 
     // A opens, writes, releases an inner lock, stays open.
     a.OnAcquire(&outer, 1);
@@ -219,7 +219,7 @@ TEST_F(AtlasRecoveryTest, IndependentCompletedOcsDoesNotCascade) {
 
     AtlasThread a(session.runtime(), 20);
     AtlasThread b(session.runtime(), 21);
-    std::atomic<std::uint64_t> lock_a{0}, lock_b{0};
+    PLockWord lock_a, lock_b;
 
     a.OnAcquire(&lock_a, 1);
     a.Store(&root->values[0], std::uint64_t{777});
@@ -247,7 +247,7 @@ TEST_F(AtlasRecoveryTest, CascadeIsTransitive) {
     AtlasThread a(session.runtime(), 20);
     AtlasThread b(session.runtime(), 21);
     AtlasThread c(session.runtime(), 22);
-    std::atomic<std::uint64_t> outer{0}, l1{0}, l2{0};
+    PLockWord outer, l1, l2;
 
     a.OnAcquire(&outer, 1);
     a.OnAcquire(&l1, 2);
@@ -282,7 +282,7 @@ TEST_F(AtlasRecoveryTest, UndoAppliesInReverseGlobalOrder) {
 
     AtlasThread a(session.runtime(), 20);
     AtlasThread b(session.runtime(), 21);
-    std::atomic<std::uint64_t> outer_a{0}, outer_b{0}, shared{0};
+    PLockWord outer_a, outer_b, shared;
 
     // A (open) writes 2 over 1; B (commits, dependent) writes 3 over 2.
     a.OnAcquire(&outer_a, 1);
@@ -320,7 +320,7 @@ TEST_F(AtlasRecoveryTest, StableTrimmedOcsesNeverRollBack) {
     session.runtime()->StabilizeNow();  // trims all 20 OCSes
 
     // Crash inside a new OCS.
-    std::atomic<std::uint64_t> word{0};
+    PLockWord word;
     thread->OnAcquire(&word, 9);
     thread->Store(&root->values[4], std::uint64_t{666});
     session.Crash();
@@ -337,7 +337,7 @@ TEST_F(AtlasRecoveryTest, RecoveryResetsLogsForNextSession) {
     Session session(file_->path(), base_, /*create=*/true);
     session.StartRuntime(PersistencePolicy::TspLogOnly());
     AtlasThread* thread = session.runtime()->CurrentThread();
-    std::atomic<std::uint64_t> word{0};
+    PLockWord word;
     thread->OnAcquire(&word, 1);
     thread->Store(&session.root()->values[0], std::uint64_t{1});
     session.Crash();
@@ -377,7 +377,7 @@ TEST_F(AtlasRecoveryTest, RecoveryAfterRingWrapRollsBackOnlyOpenOcs) {
         session.runtime()->area().slot(thread->thread_id());
     ASSERT_GT(slot->tail.load(), capacity) << "ring must have wrapped";
 
-    std::atomic<std::uint64_t> word{0};
+    PLockWord word;
     thread->OnAcquire(&word, 3);
     thread->Store(&root->values[5], std::uint64_t{0xBAD});
     session.Crash();
@@ -398,7 +398,7 @@ TEST_F(AtlasRecoveryTest, LogFlushModeRecoversIdentically) {
     session.StartRuntime(PersistencePolicy::SyncFlush());
     AtlasThread* thread = session.runtime()->CurrentThread();
     TestRoot* root = session.root();
-    std::atomic<std::uint64_t> word{0};
+    PLockWord word;
     thread->OnAcquire(&word, 1);
     thread->Store(&root->values[6], std::uint64_t{77});
     session.Crash();
@@ -435,7 +435,7 @@ TEST_F(AtlasRecoveryTest, FullLifecycleAcrossCrashes) {
       PMutexLock lock(&mutex);
       thread->Store(&session.root()->values[0], std::uint64_t{1});
     }
-    std::atomic<std::uint64_t> word{0};
+    PLockWord word;
     thread->OnAcquire(&word, 5);
     thread->Store(&session.root()->values[0], std::uint64_t{2});
     session.Crash();
@@ -452,7 +452,7 @@ TEST_F(AtlasRecoveryTest, FullLifecycleAcrossCrashes) {
       PMutexLock lock(&mutex);
       thread->Store(&session.root()->values[0], std::uint64_t{10});
     }
-    std::atomic<std::uint64_t> word{0};
+    PLockWord word;
     thread->OnAcquire(&word, 5);
     thread->Store(&session.root()->values[0], std::uint64_t{11});
     session.Crash();

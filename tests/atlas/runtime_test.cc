@@ -226,7 +226,7 @@ TEST_F(AtlasRuntimeTest, DependentOcsNotTrimmedWhileDependeeOpen) {
   AtlasThread b(runtime_.get(), 11);
   auto* x = static_cast<std::uint64_t*>(heap_->Alloc(8));
   auto* y = static_cast<std::uint64_t*>(heap_->Alloc(8));
-  std::atomic<std::uint64_t> outer_word{0}, shared_word{0};
+  PLockWord outer_word, shared_word;
 
   a.OnAcquire(&outer_word, 1);   // A's OCS opens
   a.OnAcquire(&shared_word, 2);  // nested
@@ -256,7 +256,7 @@ TEST_F(AtlasRuntimeTest, CommittedDependencyCycleStabilizes) {
   AtlasThread d(runtime_.get(), 13);
   auto* vx = static_cast<std::uint64_t*>(heap_->Alloc(8));
   auto* vd = static_cast<std::uint64_t*>(heap_->Alloc(8));
-  std::atomic<std::uint64_t> ox{0}, od{0}, l1{0}, l2{0};
+  PLockWord ox, od, l1, l2;
 
   x.OnAcquire(&ox, 1);  // X opens
   d.OnAcquire(&od, 2);  // D opens

@@ -60,7 +60,7 @@ TEST_F(AtlasStatsTest, CrossThreadDepsPublish) {
   AtlasThread alice(runtime_.get(), 20);
   AtlasThread bob(runtime_.get(), 21);
   auto* value = static_cast<std::uint64_t*>(heap_->Alloc(8));
-  std::atomic<std::uint64_t> outer{0}, shared{0};
+  PLockWord outer, shared;
 
   // Alice releases an inner lock while her OCS is still open, so she is
   // committed-much-later and *unstable* when Bob takes a dependency.

@@ -120,7 +120,7 @@ TEST(PersistenceDomainTest, FullCrashRecoveryCycle) {
       thread->Store(&counter->value, std::uint64_t{7});
     }
     // Crash inside a new OCS.
-    std::atomic<std::uint64_t> word{0};
+    atlas::PLockWord word;
     thread->OnAcquire(&word, 1);
     thread->Store(&counter->value, std::uint64_t{666});
     // destroy without CloseClean

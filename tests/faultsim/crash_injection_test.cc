@@ -88,6 +88,32 @@ TEST(CrashInjectionAtlasTest, RollbackPathIsExercised) {
   // live in atlas/recovery_test.cc.
 }
 
+// Crash/recover with a tiny sequence-lease block (2 stamps) and high
+// lock contention: leases are constantly exhausted and overtaken, so
+// recovery must replay logs whose stamps come from heavily interleaved,
+// frequently-resynced leases. Guards the leased-stamp replay invariant
+// end to end (crash → reverse-stamp rollback → Eq. (1)/(2) checks).
+TEST(CrashInjectionAtlasTest, RecoversWithTinyLeaseBlocks) {
+  ScopedRegionFile file("crash_lease");
+  CrashCycleOptions options;
+  options.session.variant = MapVariant::kMutexLogOnly;
+  options.session.path = file.path();
+  options.session.heap_size = 256 * 1024 * 1024;
+  options.session.base_address = UniqueBaseAddress();
+  options.session.runtime_area_size = 16 * 1024 * 1024;
+  options.session.seq_block_size = 2;  // force constant re-lease/resync
+  options.workload.threads = 4;
+  options.workload.high_range = 256;  // high contention
+  options.cycles = 8;
+  options.min_run_ms = 10;
+  options.max_run_ms = 50;
+  options.seed = 0x5EA5E;
+
+  const CrashCycleReport report = RunCrashCycles(options);
+  EXPECT_TRUE(report.all_ok) << report.ToString();
+  EXPECT_EQ(report.cycles_run, options.cycles);
+}
+
 // The non-blocking variant must recover with zero rollback work — the
 // §4.1 claim that no mechanism beyond TSP is needed.
 TEST(CrashInjectionSkipListTest, RecoveryNeedsNoRollback) {

@@ -110,7 +110,7 @@ TEST(MultiStructureTest, EverythingSurvivesCrashOnOneHeap) {
 
     // Crash inside a hash-map OCS: the interrupted Put must roll back.
     atlas::AtlasThread* thread = runtime.CurrentThread();
-    std::atomic<std::uint64_t> word{0};
+    atlas::PLockWord word;
     thread->OnAcquire(&word, 99);
     thread->Store(&root->vector->operator[](0), std::uint64_t{0xDEAD});
     // destroy everything without clean shutdown (mid-OCS: a crash)

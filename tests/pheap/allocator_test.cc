@@ -189,7 +189,11 @@ TEST_F(AllocatorTest, ConcurrentAllocFreeKeepsBlocksDisjoint) {
 using AllocatorDeathTest = AllocatorTest;
 
 TEST_F(AllocatorDeathTest, DoubleFreeIsFatal) {
+#ifdef GTEST_FLAG_SET
   GTEST_FLAG_SET(death_test_style, "threadsafe");
+#else
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+#endif
   void* p = allocator_->Alloc(64, 0);
   allocator_->Free(p);
   EXPECT_DEATH(allocator_->Free(p), "unallocated or corrupt");

@@ -66,7 +66,9 @@ int ShowHeader(const PersistentHeap& heap) {
                   : "NO (crash recovery pending)");
   std::printf("  root offset:      %" PRIu64 "\n",
               h->root_offset.load(std::memory_order_relaxed));
-  std::printf("  global sequence:  %" PRIu64 "\n",
+  std::printf("  global sequence:  %" PRIu64
+              " (lease frontier; stamps below it are handed out in "
+              "per-thread blocks)\n",
               h->global_sequence.load(std::memory_order_relaxed));
   return 0;
 }
@@ -109,6 +111,10 @@ int ShowLog(const PersistentHeap& heap, bool verbose) {
   tsp::atlas::AtlasArea area(area_base, heap.runtime_area_size());
   std::printf("Atlas log: %u rings x %" PRIu64 " entries\n",
               area.max_threads(), area.entries_per_thread());
+  // Stamps are leased in per-thread blocks of the global counter, so
+  // they are sparse and interleave across rings; within one ring they
+  // must be monotone. max_store_seq below the header's global sequence
+  // is expected (unspent lease remainders are simply never used).
   for (std::uint32_t t = 0; t < area.max_threads(); ++t) {
     const tsp::atlas::ThreadLogHeader* slot = area.slot(t);
     const std::uint64_t head = slot->head.load(std::memory_order_relaxed);
@@ -116,12 +122,28 @@ int ShowLog(const PersistentHeap& heap, bool verbose) {
     if (tail == 0 && slot->next_ocs.load(std::memory_order_relaxed) <= 1) {
       continue;  // never used
     }
+    std::uint64_t max_store_seq = 0;
+    std::uint64_t stores = 0;
+    bool monotone = true;
+    for (std::uint64_t i = head; i < tail; ++i) {
+      const tsp::atlas::LogEntry* entry = area.entry(t, i);
+      if (entry->kind != tsp::atlas::EntryKind::kStore) continue;
+      if (entry->seq <= max_store_seq) monotone = false;
+      max_store_seq = entry->seq;
+      ++stores;
+    }
     std::printf("  ring %2u: head=%" PRIu64 " tail=%" PRIu64
                 " (%" PRIu64 " live) committed_ocs=%" PRIu64
-                " stable_ocs=%" PRIu64 "\n",
+                " stable_ocs=%" PRIu64,
                 t, head, tail, tail - head,
                 slot->committed_ocs.load(std::memory_order_relaxed),
                 slot->stable_ocs.load(std::memory_order_relaxed));
+    if (stores > 0) {
+      std::printf(" stores=%" PRIu64 " max_store_seq=%" PRIu64 "%s",
+                  stores, max_store_seq,
+                  monotone ? "" : " [NOT MONOTONE]");
+    }
+    std::printf("\n");
     if (!verbose) continue;
     for (std::uint64_t i = head; i < tail; ++i) {
       const tsp::atlas::LogEntry* entry = area.entry(t, i);
