@@ -7,6 +7,7 @@
 
 #include "atlas/log_layout.h"
 #include "common/logging.h"
+#include "pheap/sanitizer.h"
 
 namespace tsp::atlas {
 namespace {
@@ -209,6 +210,10 @@ StatusOr<RecoveryStats> RecoverAtlas(pheap::PersistentHeap* heap) {
         record.size > 8) {
       return Status::Corruption("undo record points outside the region");
     }
+    // Rollback is a blessed writer under TSPSan: it restores the logged
+    // old value, which is by definition the logged state.
+    pheap::ScopedWriteWindow window(region->FromOffset(record.addr_offset),
+                                    record.size);
     std::memcpy(region->FromOffset(record.addr_offset), &record.old_value,
                 record.size);
     ++stats.stores_undone;

@@ -183,6 +183,7 @@ void AtlasThread::StoreBytes(void* dst, const void* src, std::size_t n) {
     }
     PublishStaged(/*ordered=*/true);
   }
+  pheap::ScopedWriteWindow window(dst, n);
   std::memcpy(dst, src, n);
 }
 
@@ -202,6 +203,7 @@ std::uint64_t AtlasThread::IssueSeq() {
 }
 
 void AtlasThread::OnAcquire(PLockWord* lock, std::uint32_t lock_id) {
+  pheap::TspSanitizer::NoteOcsDepth(depth_ + 1);
   if (depth_++ == 0) {
     current_ocs_ = slot_->next_ocs.fetch_add(1, std::memory_order_relaxed);
     logged_addresses_.NewEpoch();
@@ -241,6 +243,7 @@ void AtlasThread::OnAcquire(PLockWord* lock, std::uint32_t lock_id) {
 
 void AtlasThread::OnRelease(PLockWord* lock, std::uint32_t lock_id) {
   TSP_DCHECK_GT(depth_, 0);
+  pheap::TspSanitizer::NoteOcsDepth(depth_ - 1);
   AppendEntry(EntryKind::kRelease, 0, lock_id, current_ocs_, current_ocs_);
   // Publish ourselves as the last releaser while still holding the
   // mutex: the next acquirer depends on this OCS, and must order every

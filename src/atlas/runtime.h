@@ -45,6 +45,7 @@
 #include "common/status.h"
 #include "core/persistence_policy.h"
 #include "pheap/heap.h"
+#include "pheap/sanitizer.h"
 
 namespace tsp::atlas {
 
@@ -104,6 +105,9 @@ class AtlasThread {
     static_assert(std::is_trivially_copyable_v<T> && sizeof(T) <= 8,
                   "Store handles word-sized values; use StoreBytes");
     if (depth_ > 0) LogOldValue(addr, sizeof(T));
+    // The logged-store API is the blessed writer under TSPSan; raw
+    // stores to the protected arena fault with a diagnostic instead.
+    pheap::ScopedWriteWindow window(addr, sizeof(T));
     *addr = value;
   }
 

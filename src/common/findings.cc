@@ -1,0 +1,99 @@
+#include "common/findings.h"
+
+#include <cstdio>
+
+namespace tsp::report {
+
+const char* SeverityName(Severity severity) {
+  switch (severity) {
+    case Severity::kNote:
+      return "note";
+    case Severity::kWarning:
+      return "warning";
+    case Severity::kError:
+      return "error";
+  }
+  return "?";
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string Finding::ToText() const {
+  return tool + ": " + SeverityName(severity) + ": " + location + ": " +
+         message + " [" + rule + "]";
+}
+
+std::string Finding::ToJson() const {
+  return std::string("{\"tool\":\"") + JsonEscape(tool) +
+         "\",\"severity\":\"" + SeverityName(severity) + "\",\"rule\":\"" +
+         JsonEscape(rule) + "\",\"location\":\"" + JsonEscape(location) +
+         "\",\"message\":\"" + JsonEscape(message) + "\"}";
+}
+
+void FindingSink::Add(Finding finding) {
+  ++total_;
+  if (finding.severity == Severity::kError) ++errors_;
+  if (findings_.size() < cap_) findings_.push_back(std::move(finding));
+}
+
+void FindingSink::AddError(std::string tool, std::string rule,
+                           std::string location, std::string message) {
+  Add(Finding{Severity::kError, std::move(tool), std::move(rule),
+              std::move(location), std::move(message)});
+}
+
+std::string FindingSink::ToText() const {
+  std::string out;
+  for (const Finding& finding : findings_) {
+    out += finding.ToText();
+    out += '\n';
+  }
+  if (dropped() > 0) {
+    out += "(+" + std::to_string(dropped()) + " more not shown)\n";
+  }
+  return out;
+}
+
+std::string FindingSink::ToJson() const {
+  std::string out = "{\"findings\":[";
+  for (std::size_t i = 0; i < findings_.size(); ++i) {
+    if (i > 0) out += ',';
+    out += findings_[i].ToJson();
+  }
+  out += "],\"total\":" + std::to_string(total_) +
+         ",\"errors\":" + std::to_string(errors_) + "}";
+  return out;
+}
+
+}  // namespace tsp::report

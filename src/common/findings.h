@@ -1,0 +1,89 @@
+// Copyright 2026 The TSP Authors.
+// Uniform diagnostic findings shared by every checker in the tree: the
+// offline heap checker (pheap/check), the TSPSan persistence sanitizer
+// (pheap/sanitizer), the tsp_lint static checker (tools/lint), and the
+// tsp_inspect CLI. One finding = one defect, with a stable rule name so
+// scripts and CI can gate on machine-readable output instead of
+// scraping log text.
+
+#ifndef TSP_COMMON_FINDINGS_H_
+#define TSP_COMMON_FINDINGS_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace tsp::report {
+
+enum class Severity {
+  kNote = 0,     // informational; never fails a gate
+  kWarning = 1,  // suspicious but not proven wrong
+  kError = 2,    // a defect; gates fail
+};
+
+const char* SeverityName(Severity severity);
+
+/// One diagnostic. `tool` names the checker ("heap-check", "tspsan",
+/// "tsp-lint"), `rule` the specific check ("raw-store",
+/// "stamp-monotonicity", ...), `location` where it was found (a
+/// file:line for source checks, an offset / ring description for heap
+/// checks).
+struct Finding {
+  Severity severity = Severity::kError;
+  std::string tool;
+  std::string rule;
+  std::string location;
+  std::string message;
+
+  /// "tool: error: location: message [rule]" — one line, grep-friendly.
+  std::string ToText() const;
+  /// One JSON object with the five fields, fully escaped.
+  std::string ToJson() const;
+};
+
+/// Escapes a string for embedding in a JSON string literal (no quotes
+/// added).
+std::string JsonEscape(const std::string& s);
+
+/// Collects findings with bounded retention: at most `cap` findings are
+/// kept, but *every* Add is counted, so reports can say "+N more"
+/// instead of silently truncating.
+class FindingSink {
+ public:
+  static constexpr std::size_t kDefaultCap = 16;
+
+  explicit FindingSink(std::size_t cap = kDefaultCap) : cap_(cap) {}
+
+  void Add(Finding finding);
+
+  /// Convenience for the common error case.
+  void AddError(std::string tool, std::string rule, std::string location,
+                std::string message);
+
+  /// Retained findings (first `cap` added).
+  const std::vector<Finding>& findings() const { return findings_; }
+  /// Total findings ever added, including ones dropped past the cap.
+  std::size_t total() const { return total_; }
+  /// Findings not retained (total() - findings().size()).
+  std::size_t dropped() const { return total_ - findings_.size(); }
+  /// Total findings of severity kError (counted even when dropped).
+  std::size_t error_count() const { return errors_; }
+  bool empty() const { return total_ == 0; }
+
+  /// Multi-line listing of retained findings, with a trailing
+  /// "(+N more not shown)" when the cap truncated.
+  std::string ToText() const;
+  /// {"findings":[...],"total":N,"errors":N} — retained findings only,
+  /// but exact totals.
+  std::string ToJson() const;
+
+ private:
+  std::size_t cap_;
+  std::vector<Finding> findings_;
+  std::size_t total_ = 0;
+  std::size_t errors_ = 0;
+};
+
+}  // namespace tsp::report
+
+#endif  // TSP_COMMON_FINDINGS_H_

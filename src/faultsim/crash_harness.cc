@@ -11,6 +11,7 @@
 
 #include "common/logging.h"
 #include "common/random.h"
+#include "pheap/sanitizer.h"
 
 namespace tsp::faultsim {
 namespace {
@@ -23,6 +24,22 @@ namespace {
     TSP_LOG(ERROR) << "worker failed to open session: "
                    << session.status().ToString();
     _exit(2);
+  }
+  if (options.enable_tspsan || pheap::TspSanitizer::enabled_by_env()) {
+    // Registry must outlive the sanitizer; the worker never disables it
+    // (it dies by SIGKILL), so give it static storage.
+    static pheap::TypeRegistry registry;
+    workload::MapSession::RegisterAllTypes(&registry);
+    pheap::TspSanitizer::Options san;
+    san.registry = &registry;
+    san.violation_exit_code = 4;  // distinguishes a TSPSan trap below
+    Status status = pheap::TspSanitizer::Enable(
+        (*session)->heap()->region(), san);
+    if (!status.ok()) {
+      TSP_LOG(ERROR) << "worker failed to enable TSPSan: "
+                     << status.ToString();
+      _exit(2);
+    }
   }
   std::atomic<bool> stop{false};  // never set: we run until SIGKILL
   workload::RunMapWorkload((*session)->map(), options.workload, &stop);

@@ -43,6 +43,12 @@ struct CrashCycleOptions {
   /// statements about a single run from an empty map — the crash-
   /// interrupted iteration is inherently ambiguous to a resumed run).
   bool reset_between_cycles = true;
+  /// Arm TSPSan in the forked worker: the arena is kept PROT_READ and
+  /// every store outside the logged-store machinery aborts the worker
+  /// (which the harness then reports as a premature exit instead of the
+  /// expected SIGKILL). Also armed when TSP_SANITIZE_PERSIST is set in
+  /// the environment.
+  bool enable_tspsan = false;
   /// Print one line per cycle.
   bool verbose = false;
 };

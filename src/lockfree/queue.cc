@@ -3,6 +3,7 @@
 #include <new>
 
 #include "common/logging.h"
+#include "pheap/sanitizer.h"
 
 namespace tsp::lockfree {
 
@@ -10,6 +11,10 @@ QueueRoot* LockFreeQueue::CreateRoot(pheap::PersistentHeap* heap) {
   auto* dummy = static_cast<QueueNode*>(
       heap->Alloc(sizeof(QueueNode), QueueNode::kPersistentTypeId));
   if (dummy == nullptr) return nullptr;
+  // §4.1 non-blocking domain: queue nodes and root are mutated with
+  // plain CAS/stores by design and never undo-logged. tsp-lint: nonblocking
+  pheap::TspSanitizer::RegisterNonBlockingRange(dummy, sizeof(QueueNode),
+                                                "lockfree-queue");
   dummy->value = 0;
   dummy->next.store(nullptr, std::memory_order_relaxed);
 
@@ -18,6 +23,8 @@ QueueRoot* LockFreeQueue::CreateRoot(pheap::PersistentHeap* heap) {
     heap->Free(dummy);
     return nullptr;
   }
+  pheap::TspSanitizer::RegisterNonBlockingRange(root, sizeof(QueueRoot),
+                                                "lockfree-queue");
   root->head.store(dummy, std::memory_order_relaxed);
   root->tail.store(dummy, std::memory_order_relaxed);
   root->enqueued.store(0, std::memory_order_relaxed);
@@ -54,6 +61,8 @@ QueueNode* LockFreeQueue::AllocNode(std::uint64_t value) {
   auto* node = static_cast<QueueNode*>(
       heap_->Alloc(sizeof(QueueNode), QueueNode::kPersistentTypeId));
   TSP_CHECK(node != nullptr) << "persistent heap exhausted";
+  pheap::TspSanitizer::RegisterNonBlockingRange(node, sizeof(QueueNode),
+                                                "lockfree-queue");
   node->value = value;
   node->next.store(nullptr, std::memory_order_relaxed);
   return node;

@@ -5,6 +5,7 @@
 
 #include "common/logging.h"
 #include "common/random.h"
+#include "pheap/sanitizer.h"
 
 namespace tsp::lockfree {
 namespace {
@@ -27,6 +28,11 @@ SkipListRoot* SkipListMap::CreateRoot(pheap::PersistentHeap* heap) {
   void* head_mem = heap->Alloc(SkipNode::AllocationSize(SkipNode::kMaxHeight),
                                SkipNode::kPersistentTypeId);
   if (head_mem == nullptr) return nullptr;
+  // §4.1 non-blocking domain: skiplist nodes and root are mutated with
+  // plain CAS/stores by design and never undo-logged. tsp-lint: nonblocking
+  pheap::TspSanitizer::RegisterNonBlockingRange(
+      head_mem, SkipNode::AllocationSize(SkipNode::kMaxHeight),
+      "lockfree-skiplist");
   auto* head = new (head_mem) SkipNode{};
   head->key = 0;
   head->value.store(0, std::memory_order_relaxed);
@@ -42,6 +48,8 @@ SkipListRoot* SkipListMap::CreateRoot(pheap::PersistentHeap* heap) {
     heap->Free(head_mem);
     return nullptr;
   }
+  pheap::TspSanitizer::RegisterNonBlockingRange(root, sizeof(SkipListRoot),
+                                                "lockfree-skiplist");
   root->head = head;
   root->approximate_size.store(0, std::memory_order_relaxed);
   return root;
@@ -90,6 +98,8 @@ SkipNode* SkipListMap::AllocNode(std::uint64_t key, std::uint64_t value,
   void* mem = heap_->Alloc(SkipNode::AllocationSize(height),
                            SkipNode::kPersistentTypeId);
   if (mem == nullptr) return nullptr;
+  pheap::TspSanitizer::RegisterNonBlockingRange(
+      mem, SkipNode::AllocationSize(height), "lockfree-skiplist");
   auto* node = new (mem) SkipNode{};
   node->key = key;
   node->value.store(value, std::memory_order_relaxed);

@@ -13,16 +13,18 @@ HashMapRoot* MutexHashMap::CreateRoot(pheap::PersistentHeap* heap,
                           BucketArray::kPersistentTypeId);
   if (mem == nullptr) return nullptr;
   auto* array = new (mem) BucketArray{};
-  array->bucket_count = options.bucket_count;
+  // Pre-publication init: the array is unreachable until the root
+  // pointer is set, so a crash here just leaks it to the recovery GC.
+  array->bucket_count = options.bucket_count;  // tsp-lint: allow(raw-store)
   for (std::uint64_t i = 0; i < options.bucket_count; ++i) {
-    array->buckets[i] = nullptr;
+    array->buckets[i] = nullptr;  // tsp-lint: allow(raw-store)
   }
   HashMapRoot* root = heap->New<HashMapRoot>();
   if (root == nullptr) {
     heap->Free(mem);
     return nullptr;
   }
-  root->buckets = array;
+  root->buckets = array;  // tsp-lint: allow(raw-store) -- unpublished
   return root;
 }
 

@@ -1,6 +1,7 @@
 #include "pheap/allocator.h"
 
 #include "common/logging.h"
+#include "pheap/sanitizer.h"
 
 namespace tsp::pheap {
 namespace {
@@ -82,6 +83,9 @@ void* Allocator::Alloc(std::size_t payload_size, std::uint32_t type_id) {
   }
 
   auto* block = static_cast<BlockHeader*>(region_->FromOffset(offset));
+  // Allocator metadata writes are blessed under TSPSan: headers are
+  // advisory (recovery rebuilds them) and never undo-logged.
+  ScopedWriteWindow window(block, sizeof(BlockHeader));
   block->magic = BlockHeader::kAllocatedMagic;
   block->type_id = type_id;
   block->block_size = block_size;
@@ -97,6 +101,7 @@ void Allocator::Free(void* payload) {
       << "Free of unallocated or corrupt block";
   const int size_class = SizeClassOf(block->block_size);
   TSP_CHECK_GE(size_class, 0) << "corrupt block size";
+  ScopedWriteWindow window(block, sizeof(BlockHeader));
   block->magic = BlockHeader::kFreeMagic;
   header_->total_frees.fetch_add(1, std::memory_order_relaxed);
   PushToList(size_class, region_->ToOffset(block));
@@ -105,6 +110,7 @@ void Allocator::Free(void* payload) {
 void Allocator::PushToList(int size_class, std::uint64_t block_offset) {
   auto* payload = static_cast<FreeBlockPayload*>(
       region_->FromOffset(block_offset + sizeof(BlockHeader)));
+  ScopedWriteWindow window(payload, sizeof(FreeBlockPayload));
   std::atomic<TaggedOffset>& head = header_->free_lists[size_class];
   TaggedOffset old_head = head.load(std::memory_order_acquire);
   for (;;) {
@@ -159,6 +165,7 @@ void Allocator::PushFreeBlock(std::uint64_t offset, std::size_t block_size) {
   const int size_class = SizeClassOf(block_size);
   TSP_CHECK_GE(size_class, 0);
   auto* block = static_cast<BlockHeader*>(region_->FromOffset(offset));
+  ScopedWriteWindow window(block, sizeof(BlockHeader));
   block->magic = BlockHeader::kFreeMagic;
   block->type_id = 0;
   block->block_size = block_size;

@@ -3,6 +3,10 @@
 #include <algorithm>
 #include <unordered_set>
 
+// Header-only use: pheap cannot link tsp_atlas (atlas depends on
+// pheap), so the undo-log checks below validate the area's magic and
+// geometry themselves instead of calling AtlasArea::Validate.
+#include "atlas/log_layout.h"
 #include "pheap/allocator.h"
 #include "pheap/layout.h"
 
@@ -12,6 +16,7 @@ namespace {
 constexpr std::size_t kMaxProblems = 16;
 
 void AddProblem(CheckReport* report, std::string problem) {
+  ++report->problems_total;
   if (report->problems.size() < kMaxProblems) {
     report->problems.push_back(std::move(problem));
   }
@@ -31,10 +36,33 @@ std::string CheckReport::ToString() const {
          std::to_string(free_blocks) + " free blocks (" +
          std::to_string(free_bytes) + " B), " +
          std::to_string(unaccounted_bytes) + " B unaccounted";
+  if (log_rings_scanned > 0) {
+    out += ", " + std::to_string(log_entries_scanned) +
+           " log entries in " + std::to_string(log_rings_scanned) + " rings";
+  }
   for (const std::string& problem : problems) {
     out += "\n  - " + problem;
   }
+  if (problems_total > problems.size()) {
+    out += "\n  (+" + std::to_string(problems_total - problems.size()) +
+           " more problems not shown)";
+  }
   return out;
+}
+
+void CheckReport::AppendTo(report::FindingSink* sink) const {
+  for (const std::string& problem : problems) {
+    std::string rule = "heap";
+    std::string message = problem;
+    // Problems may be tagged "rule-slug: message".
+    const std::size_t colon = problem.find(": ");
+    if (colon != std::string::npos && colon > 0 &&
+        problem.find(' ') > colon) {
+      rule = problem.substr(0, colon);
+      message = problem.substr(colon + 2);
+    }
+    sink->AddError("heap-check", rule, "", message);
+  }
 }
 
 CheckReport CheckHeap(const PersistentHeap& heap,
@@ -173,7 +201,125 @@ CheckReport CheckHeap(const PersistentHeap& heap,
   const std::uint64_t used = bump - arena_start;
   report.unaccounted_bytes = used > covered ? used - covered : 0;
 
-  report.ok = report.problems.empty();
+  // --- undo-log well-formedness ---
+  // Only when the runtime area holds a formatted Atlas log (pheap-only
+  // heaps and never-initialized runtimes are silently skipped).
+  const std::uint64_t area_size = header->runtime_area_size;
+  if (area_size >= sizeof(atlas::AtlasAreaHeader)) {
+    const char* area_base = static_cast<const char*>(
+        region->FromOffset(header->runtime_area_offset));
+    const auto* area =
+        reinterpret_cast<const atlas::AtlasAreaHeader*>(area_base);
+    if (area->magic == atlas::kAtlasMagic) {
+      const std::uint64_t slots_bytes =
+          static_cast<std::uint64_t>(area->max_threads) *
+          sizeof(atlas::ThreadLogHeader);
+      const std::uint64_t entries_bytes =
+          static_cast<std::uint64_t>(area->max_threads) *
+          area->entries_per_thread * sizeof(atlas::LogEntry);
+      if (area->max_threads == 0 || area->entries_per_thread == 0 ||
+          area->slots_offset + slots_bytes > area_size ||
+          area->entries_offset + entries_bytes > area_size) {
+        AddProblem(&report, "undo-log: Atlas area geometry exceeds the "
+                            "runtime area");
+      } else {
+        const auto* slots = reinterpret_cast<const atlas::ThreadLogHeader*>(
+            area_base + area->slots_offset);
+        const auto* entries = reinterpret_cast<const atlas::LogEntry*>(
+            area_base + area->entries_offset);
+        for (std::uint32_t t = 0; t < area->max_threads; ++t) {
+          const atlas::ThreadLogHeader& slot = slots[t];
+          const std::uint64_t head =
+              slot.head.load(std::memory_order_relaxed);
+          const std::uint64_t tail =
+              slot.tail.load(std::memory_order_relaxed);
+          if (head == tail) continue;
+          ++report.log_rings_scanned;
+          if (head > tail || tail - head > area->entries_per_thread) {
+            AddProblem(&report, "undo-log: ring " + std::to_string(t) +
+                                    " indices are corrupt (head " +
+                                    std::to_string(head) + ", tail " +
+                                    std::to_string(tail) + ")");
+            continue;
+          }
+          const atlas::LogEntry* ring =
+              entries + static_cast<std::uint64_t>(t) *
+                            area->entries_per_thread;
+          std::uint64_t last_store_seq = 0;
+          std::int64_t acquire_depth = 0;
+          for (std::uint64_t i = head; i < tail; ++i) {
+            const atlas::LogEntry& entry =
+                ring[i % area->entries_per_thread];
+            ++report.log_entries_scanned;
+            switch (entry.kind) {
+              case atlas::EntryKind::kStore:
+                // Leased stamp blocks are per-thread and monotone, so
+                // stamps strictly increase along one ring.
+                if (entry.seq <= last_store_seq) {
+                  AddProblem(&report,
+                             "undo-log: ring " + std::to_string(t) +
+                                 " stamp not monotone at entry " +
+                                 std::to_string(i) + " (" +
+                                 std::to_string(entry.seq) + " after " +
+                                 std::to_string(last_store_seq) + ")");
+                }
+                last_store_seq = entry.seq;
+                if (entry.size == 0 || entry.size > 8 ||
+                    entry.addr_offset < arena_start ||
+                    entry.addr_offset + entry.size > arena_end) {
+                  AddProblem(&report,
+                             "undo-log: ring " + std::to_string(t) +
+                                 " store record at entry " +
+                                 std::to_string(i) +
+                                 " targets outside the arena");
+                }
+                break;
+              case atlas::EntryKind::kAcquire:
+                ++acquire_depth;
+                break;
+              case atlas::EntryKind::kRelease:
+                // A crash can truncate trailing acquires, but a release
+                // without a prior acquire in the retained window means
+                // the trim protocol dropped the wrong entries.
+                if (--acquire_depth < 0) {
+                  AddProblem(&report,
+                             "undo-log: ring " + std::to_string(t) +
+                                 " release without matching acquire at "
+                                 "entry " +
+                                 std::to_string(i));
+                  acquire_depth = 0;
+                }
+                break;
+              case atlas::EntryKind::kAlloc:
+                if (entry.addr_offset <
+                        arena_start + sizeof(BlockHeader) ||
+                    entry.addr_offset > bump) {
+                  AddProblem(&report,
+                             "undo-log: ring " + std::to_string(t) +
+                                 " alloc record at entry " +
+                                 std::to_string(i) +
+                                 " payload outside the arena");
+                }
+                break;
+              case atlas::EntryKind::kOcsBegin:
+              case atlas::EntryKind::kOcsCommit:
+                break;
+              default:
+                AddProblem(&report,
+                           "undo-log: ring " + std::to_string(t) +
+                               " invalid entry kind " +
+                               std::to_string(static_cast<int>(
+                                   entry.kind)) +
+                               " at entry " + std::to_string(i));
+                break;
+            }
+          }
+        }
+      }
+    }
+  }
+
+  report.ok = report.problems_total == 0;
   return report;
 }
 

@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "common/findings.h"
 #include "pheap/heap.h"
 #include "pheap/type_registry.h"
 
@@ -27,10 +28,21 @@ struct CheckReport {
   /// Bytes between the arena start and the bump pointer that are
   /// neither reachable nor on a free list (leaked until the next GC).
   std::uint64_t unaccounted_bytes = 0;
-  /// First problems found (capped at 16).
+  /// Undo-log coverage (0/0 when the runtime area holds no formatted
+  /// Atlas log, e.g. a pheap-only heap).
+  std::uint64_t log_rings_scanned = 0;
+  std::uint64_t log_entries_scanned = 0;
+  /// First problems found (capped at 16). Entries may carry a
+  /// "rule-slug: " prefix naming the check that fired.
   std::vector<std::string> problems;
+  /// Every problem ever recorded, including ones dropped past the cap;
+  /// `ok` is `problems_total == 0`, never fooled by truncation.
+  std::uint64_t problems_total = 0;
 
   std::string ToString() const;
+  /// Emits each retained problem as a Finding (tool "heap-check"); the
+  /// rule is taken from the problem's slug prefix when present.
+  void AppendTo(report::FindingSink* sink) const;
 };
 
 /// Validates `heap`. Requires a quiesced heap (no concurrent mutators).

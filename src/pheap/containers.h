@@ -48,7 +48,9 @@ class PVector {
     void* mem = heap->Alloc(AllocationSize(capacity), kPersistentTypeId);
     if (mem == nullptr) return nullptr;
     auto* vector = new (mem) PVector();
-    vector->capacity_ = capacity;
+    // Pre-publication init of an unreachable object; a crash here
+    // leaks the block to the recovery GC.
+    vector->capacity_ = capacity;  // tsp-lint: allow(raw-store)
     vector->size_.store(0, std::memory_order_relaxed);
     return vector;
   }
@@ -128,7 +130,8 @@ class PString {
     void* mem = heap->Alloc(AllocationSize(capacity), kPersistentTypeId);
     if (mem == nullptr) return nullptr;
     auto* string = new (mem) PString();
-    string->capacity_ = capacity;
+    // Pre-publication init, as in PVector::Create above.
+    string->capacity_ = capacity;  // tsp-lint: allow(raw-store)
     string->state_.store(0, std::memory_order_relaxed);
     return string;
   }

@@ -19,6 +19,7 @@
 #include "pheap/allocator.h"
 #include "pheap/gc.h"
 #include "pheap/region.h"
+#include "pheap/sanitizer.h"
 #include "pheap/type_registry.h"
 
 namespace tsp::pheap {
@@ -80,6 +81,9 @@ class PersistentHeap {
     if constexpr (HasPersistentTypeId<T>) type_id = T::kPersistentTypeId;
     void* p = Alloc(sizeof(T), type_id);
     if (p == nullptr) return nullptr;
+    // Constructing a freshly allocated (hence unreachable, unpublished)
+    // object is a blessed write under TSPSan: nothing can roll it back.
+    ScopedWriteWindow window(p, sizeof(T));
     return new (p) T(std::forward<Args>(args)...);
   }
 

@@ -1,0 +1,137 @@
+// Copyright 2026 The TSP Authors.
+// TSPSan: a dynamic persistence sanitizer that proves every persistent
+// store goes through the logged-store machinery.
+//
+// The Atlas model (paper §4.2) is only sound if *every* store to
+// persistent data inside an outermost critical section is undo-logged
+// first. The paper gets this from a compiler pass; our reproduction
+// uses a manual Store/StoreBytes API, so a single raw `*p = v` silently
+// breaks rollback and corrupts the heap on the next crash. TSPSan makes
+// that a caught bug: when enabled, the region's arena is kept
+// PROT_READ, the blessed writers (Store/StoreBytes, the allocator's
+// metadata writes, recovery rollback) open short write windows via
+// ScopedWriteWindow, and any other write SIGSEGVs into a handler that
+// prints a precise diagnostic — faulting address, the containing
+// object's type (from the TypeRegistry), whether the thread was inside
+// an OCS, and a backtrace — then aborts.
+//
+// §4.1 lock-free code is exempt *by design* (non-blocking structures on
+// a TSP heap need no logging at all): it declares its objects with
+// RegisterNonBlockingRange, which unprotects the containing pages.
+//
+// Granularity caveat: protection is per page. A raw store that lands on
+// a page somebody else holds a window on, or on a page shared with a
+// registered non-blocking object, is missed. Like FliT's checker, this
+// is a best-effort dynamic net — the tsp_lint static pass covers the
+// source-level side.
+//
+// Enable() requires a recovered, writable heap; it is test/debug
+// machinery (write windows cost two mprotect calls) and is never on by
+// default. Set TSP_SANITIZE_PERSIST=1 to arm the env-gated call sites
+// (crash harness workers, tests that opt in).
+
+#ifndef TSP_PHEAP_SANITIZER_H_
+#define TSP_PHEAP_SANITIZER_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+#include "common/status.h"
+#include "pheap/region.h"
+#include "pheap/type_registry.h"
+
+namespace tsp::pheap {
+
+namespace tspsan_internal {
+/// Inline-visible so the fast-path checks in Store/ScopedWriteWindow
+/// compile to one relaxed load + branch; do not touch directly.
+extern std::atomic<bool> g_active;
+extern thread_local int g_ocs_depth;
+}  // namespace tspsan_internal
+
+class TspSanitizer {
+ public:
+  struct Options {
+    /// Used by the violation diagnostic to name the type of the object
+    /// containing the faulting address. Must outlive the sanitizer.
+    const TypeRegistry* registry = nullptr;
+    /// Exit with this code instead of abort(); 0 keeps abort(). Lets
+    /// exit-code tests distinguish a TSPSan trap from other crashes.
+    int violation_exit_code = 0;
+  };
+
+  /// Write-protects `region`'s arena and installs the SIGSEGV handler.
+  /// One region at a time; fails with kFailedPrecondition if already
+  /// active or the heap still needs recovery, and requires a writable
+  /// (non-read-only) region.
+  static Status Enable(MappedRegion* region, const Options& options);
+  static Status Enable(MappedRegion* region) {
+    return Enable(region, Options());
+  }
+
+  /// Restores PROT_READ|PROT_WRITE on the whole arena and uninstalls
+  /// the handler. Idempotent. Must be called before the region is
+  /// unmapped (the handler keeps a raw pointer).
+  static void Disable();
+
+  /// True while a region is protected.
+  static bool active() {
+    return tspsan_internal::g_active.load(std::memory_order_acquire);
+  }
+
+  /// True iff TSP_SANITIZE_PERSIST is set to anything but "" or "0".
+  /// Call sites that want env-gated sanitizing do:
+  ///   if (TspSanitizer::enabled_by_env()) TspSanitizer::Enable(...).
+  static bool enabled_by_env();
+
+  /// Declares [p, p+n) part of a §4.1 non-blocking domain: writes there
+  /// are exempt from the logged-store contract. Unprotects the
+  /// containing pages permanently (until Disable). No-op while
+  /// inactive. `domain` names the structure for diagnostics.
+  static void RegisterNonBlockingRange(const void* p, std::size_t n,
+                                       const char* domain);
+
+  /// Diagnostic hook: the Atlas runtime reports the calling thread's
+  /// current OCS nesting depth so violation reports can say whether the
+  /// raw store happened inside a critical section.
+  static void NoteOcsDepth(int depth) {
+    tspsan_internal::g_ocs_depth = depth;
+  }
+
+  /// Number of write windows opened since Enable (test introspection).
+  static std::uint64_t windows_opened();
+
+ private:
+  friend class ScopedWriteWindow;
+  static void OpenWindow(const void* p, std::size_t n);
+  static void CloseWindow(const void* p, std::size_t n);
+};
+
+/// RAII write window: unprotects the pages covering [p, p+n) for the
+/// duration of the scope (refcounted, so concurrent and nested windows
+/// compose). Near-zero cost while the sanitizer is inactive.
+class ScopedWriteWindow {
+ public:
+  ScopedWriteWindow(const void* p, std::size_t n) {
+    if (TspSanitizer::active()) {
+      p_ = p;
+      n_ = n;
+      TspSanitizer::OpenWindow(p, n);
+    }
+  }
+  ~ScopedWriteWindow() {
+    if (p_ != nullptr) TspSanitizer::CloseWindow(p_, n_);
+  }
+
+  ScopedWriteWindow(const ScopedWriteWindow&) = delete;
+  ScopedWriteWindow& operator=(const ScopedWriteWindow&) = delete;
+
+ private:
+  const void* p_ = nullptr;
+  std::size_t n_ = 0;
+};
+
+}  // namespace tsp::pheap
+
+#endif  // TSP_PHEAP_SANITIZER_H_

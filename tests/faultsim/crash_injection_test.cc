@@ -114,6 +114,38 @@ TEST(CrashInjectionAtlasTest, RecoversWithTinyLeaseBlocks) {
   EXPECT_EQ(report.cycles_run, options.cycles);
 }
 
+// Kill/recover cycles with TSPSan armed in every worker: the arena is
+// PROT_READ and each logged store runs through an mprotect write
+// window. Proves the whole Atlas fast path honors the instrumentation
+// contract under concurrency and SIGKILL — any unlogged store would
+// abort the worker (exit instead of kill), failing the cycle.
+TEST(CrashInjectionTspSanTest, RecoversWithSanitizerArmed) {
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+  GTEST_SKIP() << "TSPSan's SIGSEGV handler conflicts with compiler "
+                  "sanitizers";
+#endif
+  pheap::testing::ScopedRegionFile file("crash_tspsan");
+  CrashCycleOptions options;
+  options.session.variant = MapVariant::kMutexLogOnly;
+  options.session.path = file.path();
+  options.session.heap_size = 256 * 1024 * 1024;
+  options.session.base_address = UniqueBaseAddress();
+  options.session.runtime_area_size = 16 * 1024 * 1024;
+  options.workload.threads = 4;
+  options.workload.high_range = 512;
+  options.cycles = 4;  // windows make workers slower; fewer cycles
+  options.min_run_ms = 15;
+  options.max_run_ms = 60;
+  options.seed = 0x7359;
+  options.enable_tspsan = true;
+
+  const CrashCycleReport report = RunCrashCycles(options);
+  EXPECT_TRUE(report.all_ok) << report.ToString();
+  EXPECT_EQ(report.cycles_run, options.cycles);
+  EXPECT_GT(report.final_completed_iterations, 0u)
+      << "sanitized workers should still make progress";
+}
+
 // The non-blocking variant must recover with zero rollback work — the
 // §4.1 claim that no mechanism beyond TSP is needed.
 TEST(CrashInjectionSkipListTest, RecoveryNeedsNoRollback) {

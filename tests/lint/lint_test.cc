@@ -1,0 +1,126 @@
+// Copyright 2026 The TSP Authors.
+// tsp_lint tests: the seeded fixture must be flagged (every rule, at
+// the expected lines), the annotations and non-blocking markers must
+// suppress, and the real tree must scan clean — which is the whole
+// point: CI runs `tsp_lint --error-on-findings src examples`, and this
+// test keeps that gate honest from inside the test suite too.
+
+#include "lint/lint.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/findings.h"
+
+#ifndef TSP_LINT_TESTDATA_DIR
+#error "build must define TSP_LINT_TESTDATA_DIR"
+#endif
+#ifndef TSP_REPO_ROOT
+#error "build must define TSP_REPO_ROOT"
+#endif
+
+namespace tsp::lint {
+namespace {
+
+std::string Testdata(const std::string& name) {
+  return std::string(TSP_LINT_TESTDATA_DIR) + "/" + name;
+}
+
+/// Lints one fixture file, collecting persistent types from it alone.
+report::FindingSink LintFixture(const std::string& path) {
+  LintConfig config;
+  report::FindingSink sink(64);
+  const std::vector<std::string> files = {path};
+  LintFile(path, CollectPersistentTypes(files), config, &sink);
+  return sink;
+}
+
+int LineOf(const report::Finding& finding) {
+  const std::size_t colon = finding.location.rfind(':');
+  return std::stoi(finding.location.substr(colon + 1));
+}
+
+TEST(TspLintTest, SeededFixtureIsFlagged) {
+  const report::FindingSink sink =
+      LintFixture(Testdata("bad_fixture.cc"));
+
+  std::multiset<int> raw_store_lines;
+  int pmutex = 0, flush = 0;
+  for (const report::Finding& finding : sink.findings()) {
+    EXPECT_EQ(finding.tool, "tsp-lint");
+    if (finding.rule == "raw-store") {
+      EXPECT_EQ(finding.severity, report::Severity::kError);
+      raw_store_lines.insert(LineOf(finding));
+    } else if (finding.rule == "pmutex-pairing") {
+      EXPECT_EQ(finding.severity, report::Severity::kWarning);
+      ++pmutex;
+    } else if (finding.rule == "flush-misuse") {
+      EXPECT_EQ(finding.severity, report::Severity::kWarning);
+      ++flush;
+    } else {
+      ADD_FAILURE() << "unexpected rule: " << finding.rule;
+    }
+  }
+  // Two plain assignments, memset, memcpy, and the *link double-pointer
+  // store; the annotated lines (27, 28) must NOT appear.
+  EXPECT_EQ(raw_store_lines, (std::multiset<int>{23, 24, 33, 35, 39}));
+  EXPECT_EQ(pmutex, 1);
+  EXPECT_EQ(flush, 1);
+  EXPECT_EQ(sink.total(), 7u);
+  EXPECT_EQ(sink.error_count(), 5u);
+}
+
+TEST(TspLintTest, NonBlockingMarkerSuppressesRawStore) {
+  const report::FindingSink sink =
+      LintFixture(Testdata("nonblocking_fixture.cc"));
+  EXPECT_TRUE(sink.empty()) << sink.ToText();
+}
+
+TEST(TspLintTest, JsonOutputIsMachineReadable) {
+  const report::FindingSink sink =
+      LintFixture(Testdata("bad_fixture.cc"));
+  const std::string json = sink.ToJson();
+  EXPECT_NE(json.find("\"rule\":\"raw-store\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"total\":7"), std::string::npos) << json;
+}
+
+TEST(TspLintTest, FindingSinkCountsPastTheCap) {
+  report::FindingSink sink(2);  // cap below the fixture's 7 findings
+  LintConfig config;
+  const std::vector<std::string> files = {Testdata("bad_fixture.cc")};
+  LintFile(files[0], CollectPersistentTypes(files), config, &sink);
+  EXPECT_EQ(sink.findings().size(), 2u);
+  EXPECT_EQ(sink.total(), 7u);
+  EXPECT_EQ(sink.dropped(), 5u);
+  EXPECT_NE(sink.ToText().find("+5 more"), std::string::npos);
+}
+
+// The real tree must be clean: every raw persistent store is either
+// routed through the logged-store API, annotated as blessed
+// pre-publication init, or inside a declared non-blocking domain.
+TEST(TspLintTest, RealTreeScansClean) {
+  LintConfig config;
+  report::FindingSink sink(64);
+  const std::string root(TSP_REPO_ROOT);
+  LintTree({root + "/src", root + "/examples"}, config, &sink);
+  EXPECT_TRUE(sink.empty()) << sink.ToText();
+}
+
+// The fixture directory is excluded from directory scans, so linting
+// the tools/ tree does not trip over the deliberately bad fixtures.
+TEST(TspLintTest, TestdataIsExcludedFromTreeScans) {
+  LintConfig config;
+  const std::vector<std::string> files =
+      GatherSources({std::string(TSP_REPO_ROOT) + "/tools"}, config);
+  for (const std::string& file : files) {
+    EXPECT_EQ(file.find("testdata"), std::string::npos) << file;
+  }
+  EXPECT_FALSE(files.empty());
+}
+
+}  // namespace
+}  // namespace tsp::lint

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
+
+#include "atlas/log_layout.h"
+#include "common/findings.h"
 #include "pheap/test_util.h"
 
 namespace tsp::pheap {
@@ -117,6 +121,152 @@ TEST_F(CheckTest, DetectsLiveFreeOverlap) {
   static_cast<FreeBlockPayload*>(static_cast<void*>(node))->next_offset = 0;
   const CheckReport report = CheckHeap(*heap_, registry_);
   EXPECT_FALSE(report.ok);
+}
+
+// Hand-formats a minimal one-ring Atlas area in the heap's runtime
+// area (layout structs are header-only, so no tsp_atlas link needed;
+// check.cc reads the same structs the same way). Entries start zeroed
+// (kInvalid) and [head, tail) is whatever the test sets.
+struct FakeLog {
+  atlas::AtlasAreaHeader* area;
+  atlas::ThreadLogHeader* slot;
+  atlas::LogEntry* ring;
+};
+
+FakeLog FormatFakeLog(PersistentHeap* heap,
+                      std::uint64_t entries_per_thread) {
+  char* base = static_cast<char*>(heap->runtime_area());
+  std::memset(base, 0,
+              64 + sizeof(atlas::ThreadLogHeader) +
+                  entries_per_thread * sizeof(atlas::LogEntry));
+  auto* area = reinterpret_cast<atlas::AtlasAreaHeader*>(base);
+  area->magic = atlas::kAtlasMagic;
+  area->version = 1;
+  area->max_threads = 1;
+  area->entries_per_thread = entries_per_thread;
+  area->slots_offset = 64;  // keeps the alignas(64) slot aligned
+  area->entries_offset = 64 + sizeof(atlas::ThreadLogHeader);
+  auto* slot =
+      reinterpret_cast<atlas::ThreadLogHeader*>(base + area->slots_offset);
+  auto* ring =
+      reinterpret_cast<atlas::LogEntry*>(base + area->entries_offset);
+  return FakeLog{area, slot, ring};
+}
+
+class UndoLogCheckTest : public CheckTest {
+ protected:
+  void SetUp() override {
+    CheckTest::SetUp();
+    log_ = FormatFakeLog(heap_.get(), 64);
+    // A real arena offset for valid store records to point at.
+    Node* node = heap_->New<Node>();
+    node->next = nullptr;
+    heap_->set_root(node);
+    node_offset_ = heap_->region()->ToOffset(node);
+  }
+
+  atlas::LogEntry MakeStore(std::uint64_t seq, std::uint64_t addr_offset,
+                            std::uint8_t size = 8) {
+    atlas::LogEntry entry{};
+    entry.kind = atlas::EntryKind::kStore;
+    entry.seq = seq;
+    entry.addr_offset = addr_offset;
+    entry.size = size;
+    return entry;
+  }
+
+  void SetWindow(std::uint64_t head, std::uint64_t tail) {
+    log_.slot->head.store(head, std::memory_order_relaxed);
+    log_.slot->tail.store(tail, std::memory_order_relaxed);
+  }
+
+  FakeLog log_;
+  std::uint64_t node_offset_ = 0;
+};
+
+TEST_F(UndoLogCheckTest, WellFormedRingPasses) {
+  log_.ring[0].kind = atlas::EntryKind::kOcsBegin;
+  log_.ring[1].kind = atlas::EntryKind::kAcquire;
+  log_.ring[2] = MakeStore(5, node_offset_);
+  log_.ring[3] = MakeStore(9, node_offset_);
+  log_.ring[4].kind = atlas::EntryKind::kRelease;
+  log_.ring[5].kind = atlas::EntryKind::kOcsCommit;
+  SetWindow(0, 6);
+  const CheckReport report = CheckHeap(*heap_, registry_);
+  EXPECT_TRUE(report.ok) << report.ToString();
+  EXPECT_EQ(report.log_rings_scanned, 1u);
+  EXPECT_EQ(report.log_entries_scanned, 6u);
+}
+
+TEST_F(UndoLogCheckTest, DetectsNonMonotoneStamps) {
+  log_.ring[0] = MakeStore(9, node_offset_);
+  log_.ring[1] = MakeStore(5, node_offset_);  // stamp went backwards
+  SetWindow(0, 2);
+  const CheckReport report = CheckHeap(*heap_, registry_);
+  EXPECT_FALSE(report.ok);
+  EXPECT_NE(report.ToString().find("stamp not monotone"),
+            std::string::npos)
+      << report.ToString();
+}
+
+TEST_F(UndoLogCheckTest, DetectsStoreOutsideTheArena) {
+  log_.ring[0] = MakeStore(5, 0);  // offset 0 = the region header
+  SetWindow(0, 1);
+  const CheckReport report = CheckHeap(*heap_, registry_);
+  EXPECT_FALSE(report.ok);
+  EXPECT_NE(report.ToString().find("targets outside the arena"),
+            std::string::npos);
+}
+
+TEST_F(UndoLogCheckTest, DetectsReleaseWithoutAcquire) {
+  log_.ring[0].kind = atlas::EntryKind::kRelease;
+  SetWindow(0, 1);
+  const CheckReport report = CheckHeap(*heap_, registry_);
+  EXPECT_FALSE(report.ok);
+  EXPECT_NE(report.ToString().find("release without matching acquire"),
+            std::string::npos);
+}
+
+TEST_F(UndoLogCheckTest, DetectsCorruptRingIndices) {
+  SetWindow(10, 2);  // head past tail
+  const CheckReport report = CheckHeap(*heap_, registry_);
+  EXPECT_FALSE(report.ok);
+  EXPECT_NE(report.ToString().find("indices are corrupt"),
+            std::string::npos);
+}
+
+TEST_F(UndoLogCheckTest, DetectsGeometryOverflow) {
+  log_.area->entries_per_thread = 1ULL << 40;  // rings exceed the area
+  const CheckReport report = CheckHeap(*heap_, registry_);
+  EXPECT_FALSE(report.ok);
+  EXPECT_NE(report.ToString().find("geometry exceeds"), std::string::npos);
+}
+
+// The cap-16 problems vector used to silently swallow everything past
+// 16; problems_total now keeps the true count and ToString says what
+// was elided. 32 zeroed (kInvalid) entries in the window = 32 problems.
+TEST_F(UndoLogCheckTest, ProblemsTotalCountsPastTheCap) {
+  SetWindow(0, 32);
+  const CheckReport report = CheckHeap(*heap_, registry_);
+  EXPECT_FALSE(report.ok);
+  EXPECT_EQ(report.problems.size(), 16u);
+  EXPECT_EQ(report.problems_total, 32u);
+  EXPECT_NE(report.ToString().find("+16 more problems not shown"),
+            std::string::npos)
+      << report.ToString();
+}
+
+TEST_F(UndoLogCheckTest, AppendToTagsUndoLogFindings) {
+  log_.ring[0] = MakeStore(9, node_offset_);
+  log_.ring[1] = MakeStore(5, node_offset_);
+  SetWindow(0, 2);
+  const CheckReport report = CheckHeap(*heap_, registry_);
+  report::FindingSink sink(16);
+  report.AppendTo(&sink);
+  ASSERT_FALSE(sink.empty());
+  EXPECT_EQ(sink.findings()[0].tool, "heap-check");
+  EXPECT_EQ(sink.findings()[0].rule, "undo-log");
+  EXPECT_EQ(sink.findings()[0].severity, report::Severity::kError);
 }
 
 TEST_F(CheckTest, CleanAfterGc) {

@@ -1,0 +1,404 @@
+#include "lint/lint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <regex>
+#include <sstream>
+
+namespace tsp::lint {
+namespace {
+
+namespace fs = std::filesystem;
+
+bool HasSourceExtension(const fs::path& path) {
+  const std::string ext = path.extension().string();
+  return ext == ".h" || ext == ".hpp" || ext == ".cc" || ext == ".cpp";
+}
+
+bool PathContains(const std::string& path, const std::string& needle) {
+  return path.find(needle) != std::string::npos;
+}
+
+bool SkipPath(const std::string& path, const LintConfig& config) {
+  for (const std::string& component : config.skip_components) {
+    if (PathContains(path, "/" + component + "/") ||
+        PathContains(path, component + "/")) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<std::string> ReadLines(const std::string& path) {
+  std::vector<std::string> lines;
+  std::ifstream in(path);
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+/// Per-file pre-pass: comment/string stripping with block-comment state,
+/// plus annotation extraction from the raw text.
+struct FileText {
+  std::vector<std::string> raw;   // as on disk
+  std::vector<std::string> code;  // comments and string contents blanked
+  /// line number (1-based) -> rules allowed on that line.
+  std::map<int, std::set<std::string>> allowed;
+  bool nonblocking_domain = false;
+};
+
+FileText LoadFile(const std::string& path) {
+  FileText text;
+  text.raw = ReadLines(path);
+  text.code.reserve(text.raw.size());
+
+  static const std::regex kAllowRe(
+      R"(tsp-lint:\s*allow\(\s*([a-z0-9_, -]+)\s*\))");
+  static const std::regex kNonBlockingRe(R"(tsp-lint:\s*nonblocking)");
+
+  bool in_block_comment = false;
+  for (std::size_t i = 0; i < text.raw.size(); ++i) {
+    const std::string& raw = text.raw[i];
+    const int lineno = static_cast<int>(i) + 1;
+
+    std::smatch match;
+    if (std::regex_search(raw, match, kAllowRe)) {
+      // `allow(a, b)` applies to its own line and the next one, so a
+      // suppression can sit above the offending statement.
+      std::stringstream rules(match[1].str());
+      std::string rule;
+      while (std::getline(rules, rule, ',')) {
+        rule.erase(std::remove_if(rule.begin(), rule.end(), ::isspace),
+                   rule.end());
+        if (!rule.empty()) {
+          text.allowed[lineno].insert(rule);
+          text.allowed[lineno + 1].insert(rule);
+        }
+      }
+    }
+    if (std::regex_search(raw, kNonBlockingRe)) {
+      text.nonblocking_domain = true;
+    }
+
+    // Blank comments and string/char literal contents, preserving
+    // column positions.
+    std::string code = raw;
+    for (std::size_t c = 0; c < code.size(); ++c) {
+      if (in_block_comment) {
+        if (code[c] == '*' && c + 1 < code.size() && code[c + 1] == '/') {
+          code[c] = ' ';
+          code[c + 1] = ' ';
+          ++c;
+          in_block_comment = false;
+        } else {
+          code[c] = ' ';
+        }
+        continue;
+      }
+      if (code[c] == '/' && c + 1 < code.size()) {
+        if (code[c + 1] == '/') {
+          for (std::size_t k = c; k < code.size(); ++k) code[k] = ' ';
+          break;
+        }
+        if (code[c + 1] == '*') {
+          code[c] = ' ';
+          code[c + 1] = ' ';
+          ++c;
+          in_block_comment = true;
+          continue;
+        }
+      }
+      if (code[c] == '"' || code[c] == '\'') {
+        const char quote = code[c];
+        std::size_t k = c + 1;
+        for (; k < code.size(); ++k) {
+          if (code[k] == '\\') {
+            code[k] = ' ';
+            if (k + 1 < code.size()) code[++k] = ' ';
+          } else if (code[k] == quote) {
+            break;
+          } else {
+            code[k] = ' ';
+          }
+        }
+        c = k;  // past the closing quote (or end of line)
+      }
+    }
+    text.code.push_back(code);
+  }
+  return text;
+}
+
+std::string Trim(const std::string& s) {
+  std::size_t b = s.find_first_not_of(" \t");
+  if (b == std::string::npos) return "";
+  std::size_t e = s.find_last_not_of(" \t");
+  return s.substr(b, e - b + 1);
+}
+
+/// Finds the first assignment `=` (plain or compound arithmetic) in a
+/// code line; returns npos if the line has none. Skips ==, !=, <=, >=.
+std::size_t FindAssignment(const std::string& code) {
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    if (code[i] != '=') continue;
+    if (i + 1 < code.size() && code[i + 1] == '=') {
+      ++i;  // ==
+      continue;
+    }
+    if (i > 0) {
+      const char prev = code[i - 1];
+      if (prev == '=' || prev == '!' || prev == '<' || prev == '>') continue;
+    }
+    return i;
+  }
+  return std::string::npos;
+}
+
+struct TrackedVar {
+  int pointer_depth = 1;  // 1 = Type*, 2 = Type**
+};
+
+const std::regex kStructRe(R"(^\s*(?:struct|class)\s+([A-Za-z_]\w*))");
+// The declaration form only (`static constexpr ... kPersistentTypeId =`);
+// usage sites (`Type::kPersistentTypeId`) must not attribute persistence
+// to whatever struct happened to be declared last in the file.
+const std::regex kPersistentIdRe(R"(\bconstexpr\s+[\w:]+\s+kPersistentTypeId\s*=)");
+
+// `Type* name` / `ns::Type *name` / `Type** name`, in declarations,
+// casts already handled separately. The trailing context char keeps
+// multiplication (`a * b`) from matching: declarations are followed by
+// an initializer, separator, or closing paren.
+const std::regex kPtrDeclRe(
+    R"(\b(?:[A-Za-z_]\w*::)*([A-Za-z_]\w*)\s*(\*+)\s*(?:const\s+)?([A-Za-z_]\w*)\s*(?:=|;|,|\)|\{))");
+const std::regex kStaticCastRe(
+    R"(\bauto\s*\*\s*([A-Za-z_]\w*)\s*=\s*static_cast<\s*(?:[A-Za-z_]\w*::)*([A-Za-z_]\w*)\s*\*)");
+const std::regex kPlacementNewRe(
+    R"(\bauto\s*\*\s*([A-Za-z_]\w*)\s*=\s*new\s*\([^)]*\)\s*(?:[A-Za-z_]\w*::)*([A-Za-z_]\w*))");
+const std::regex kHeapNewRe(
+    R"(\bauto\s*\*\s*([A-Za-z_]\w*)\s*=\s*\w+(?:->|\.)New<\s*(?:[A-Za-z_]\w*::)*([A-Za-z_]\w*))");
+
+// LHS shapes that write *through* a pointer.
+const std::regex kLhsArrowRe(R"(^([A-Za-z_]\w*)\s*->)");
+const std::regex kLhsStarParenRe(R"(^\(\s*\*\s*([A-Za-z_]\w*)\s*\)\s*[.\[])");
+const std::regex kLhsStarRe(R"(^\*\s*([A-Za-z_]\w*)\s*$)");
+
+const std::regex kMemWriteRe(
+    R"(\b(?:std::)?(?:memcpy|memset|memmove)\s*\(\s*(?:\(\s*[\w:]+\s*\*\s*\))?\s*&?\s*(?:\(\s*\*\s*)?([A-Za-z_]\w*))");
+
+const std::regex kLockCallRe(R"([\w\)\]]\s*(?:->|\.)\s*lock\s*\()");
+const std::regex kUnlockCallRe(R"([\w\)\]]\s*(?:->|\.)\s*unlock\s*\()");
+const std::regex kFlushCallRe(R"(\b(FlushLine|StoreFence)\s*\()");
+
+bool Allowed(const FileText& text, int lineno, const std::string& rule) {
+  auto it = text.allowed.find(lineno);
+  return it != text.allowed.end() && it->second.count(rule) > 0;
+}
+
+bool FileAllows(const FileText& text, const std::string& rule) {
+  for (const auto& [line, rules] : text.allowed) {
+    (void)line;
+    if (rules.count(rule) > 0) return true;
+  }
+  return false;
+}
+
+std::string Location(const std::string& path, int lineno) {
+  return path + ":" + std::to_string(lineno);
+}
+
+}  // namespace
+
+std::vector<std::string> GatherSources(const std::vector<std::string>& roots,
+                                       const LintConfig& config) {
+  std::vector<std::string> files;
+  for (const std::string& root : roots) {
+    std::error_code ec;
+    if (fs::is_regular_file(root, ec)) {
+      files.push_back(root);
+      continue;
+    }
+    if (!fs::is_directory(root, ec)) continue;
+    for (fs::recursive_directory_iterator it(root, ec), end; it != end;
+         it.increment(ec)) {
+      if (ec) break;
+      if (!it->is_regular_file(ec)) continue;
+      const std::string path = it->path().string();
+      if (HasSourceExtension(it->path()) && !SkipPath(path, config)) {
+        files.push_back(path);
+      }
+    }
+  }
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+  return files;
+}
+
+std::set<std::string> CollectPersistentTypes(
+    const std::vector<std::string>& files) {
+  std::set<std::string> types;
+  for (const std::string& path : files) {
+    const FileText text = LoadFile(path);
+    std::string last_struct;
+    for (const std::string& code : text.code) {
+      std::smatch match;
+      if (std::regex_search(code, match, kStructRe)) {
+        last_struct = match[1].str();
+      }
+      if (!last_struct.empty() && std::regex_search(code, kPersistentIdRe)) {
+        types.insert(last_struct);
+      }
+    }
+  }
+  return types;
+}
+
+void LintFile(const std::string& path, const std::set<std::string>& types,
+              const LintConfig& config, report::FindingSink* sink) {
+  const FileText text = LoadFile(path);
+
+  std::map<std::string, TrackedVar> tracked;
+  int locks = 0, unlocks = 0;
+  int first_lock_line = 0;
+  const bool mentions_pmutex = [&] {
+    for (const std::string& code : text.code) {
+      if (code.find("PMutex") != std::string::npos) return true;
+    }
+    return false;
+  }();
+  const bool flush_whitelisted = [&] {
+    for (const std::string& needle : config.flush_whitelist) {
+      if (PathContains(path, needle)) return true;
+    }
+    return false;
+  }();
+
+  for (std::size_t i = 0; i < text.code.size(); ++i) {
+    const std::string& code = text.code[i];
+    const int lineno = static_cast<int>(i) + 1;
+
+    // --- declaration tracking (pointers to persistent types) ---
+    for (std::sregex_iterator it(code.begin(), code.end(), kPtrDeclRe), end;
+         it != end; ++it) {
+      const std::string type = (*it)[1].str();
+      if (types.count(type) == 0) continue;
+      tracked[(*it)[3].str()].pointer_depth =
+          static_cast<int>((*it)[2].str().size());
+    }
+    std::smatch match;
+    if (std::regex_search(code, match, kStaticCastRe) ||
+        std::regex_search(code, match, kPlacementNewRe) ||
+        std::regex_search(code, match, kHeapNewRe)) {
+      if (types.count(match[2].str()) > 0) {
+        tracked[match[1].str()].pointer_depth = 1;
+      }
+    }
+
+    // --- rule: raw-store ---
+    if (!text.nonblocking_domain) {
+      const std::size_t eq = FindAssignment(code);
+      if (eq != std::string::npos) {
+        std::string lhs = Trim(code.substr(0, eq));
+        // Strip one trailing compound-assignment operator char.
+        while (!lhs.empty() &&
+               std::string("+-*/%&|^").find(lhs.back()) != std::string::npos) {
+          lhs.pop_back();
+          lhs = Trim(lhs);
+        }
+        std::smatch lhs_match;
+        std::string base;
+        if (std::regex_search(lhs, lhs_match, kLhsArrowRe) ||
+            std::regex_search(lhs, lhs_match, kLhsStarParenRe) ||
+            std::regex_search(lhs, lhs_match, kLhsStarRe)) {
+          base = lhs_match[1].str();
+        }
+        if (!base.empty() && tracked.count(base) > 0 &&
+            !Allowed(text, lineno, "raw-store")) {
+          report::Finding finding;
+          finding.severity = report::Severity::kError;
+          finding.tool = "tsp-lint";
+          finding.rule = "raw-store";
+          finding.location = Location(path, lineno);
+          finding.message =
+              "assignment through persistent pointer '" + base +
+              "' bypasses the logged-store API; use AtlasThread::Store / "
+              "StoreBytes (or annotate: // tsp-lint: allow(raw-store))";
+          sink->Add(std::move(finding));
+        }
+      }
+      if (std::regex_search(code, match, kMemWriteRe)) {
+        const std::string base = match[1].str();
+        if (tracked.count(base) > 0 && !Allowed(text, lineno, "raw-store")) {
+          report::Finding finding;
+          finding.severity = report::Severity::kError;
+          finding.tool = "tsp-lint";
+          finding.rule = "raw-store";
+          finding.location = Location(path, lineno);
+          finding.message =
+              "memcpy/memset into persistent object '" + base +
+              "' bypasses the logged-store API; use AtlasThread::StoreBytes "
+              "(or annotate: // tsp-lint: allow(raw-store))";
+          sink->Add(std::move(finding));
+        }
+      }
+    }
+
+    // --- rule: pmutex-pairing (counted per file, reported at the end) ---
+    if (mentions_pmutex) {
+      for (std::sregex_iterator it(code.begin(), code.end(), kLockCallRe), end;
+           it != end; ++it) {
+        ++locks;
+        if (first_lock_line == 0) first_lock_line = lineno;
+      }
+      for (std::sregex_iterator it(code.begin(), code.end(), kUnlockCallRe),
+           end;
+           it != end; ++it) {
+        ++unlocks;
+      }
+    }
+
+    // --- rule: flush-misuse ---
+    if (!flush_whitelisted && std::regex_search(code, match, kFlushCallRe) &&
+        !Allowed(text, lineno, "flush-misuse")) {
+      report::Finding finding;
+      finding.severity = report::Severity::kWarning;
+      finding.tool = "tsp-lint";
+      finding.rule = "flush-misuse";
+      finding.location = Location(path, lineno);
+      finding.message =
+          "direct " + match[1].str() +
+          " call outside the persistence-policy layer; route flushes "
+          "through PersistencePolicy so TSP mode stays flush-free "
+          "(or annotate: // tsp-lint: allow(flush-misuse))";
+      sink->Add(std::move(finding));
+    }
+  }
+
+  if (mentions_pmutex && locks != unlocks &&
+      !FileAllows(text, "pmutex-pairing")) {
+    report::Finding finding;
+    finding.severity = report::Severity::kWarning;
+    finding.tool = "tsp-lint";
+    finding.rule = "pmutex-pairing";
+    finding.location = Location(path, first_lock_line > 0 ? first_lock_line : 1);
+    finding.message =
+        "unbalanced PMutex lock()/unlock() calls in this file (" +
+        std::to_string(locks) + " lock, " + std::to_string(unlocks) +
+        " unlock); prefer PMutexLock RAII "
+        "(or annotate: // tsp-lint: allow(pmutex-pairing))";
+    sink->Add(std::move(finding));
+  }
+}
+
+void LintTree(const std::vector<std::string>& roots, const LintConfig& config,
+              report::FindingSink* sink) {
+  const std::vector<std::string> files = GatherSources(roots, config);
+  const std::set<std::string> types = CollectPersistentTypes(files);
+  for (const std::string& path : files) {
+    LintFile(path, types, config, sink);
+  }
+}
+
+}  // namespace tsp::lint

@@ -1,0 +1,79 @@
+// Copyright 2026 The TSP Authors.
+// tsp_lint: a static checker for the logged-store contract.
+//
+// TSPSan (pheap/sanitizer.h) catches unlogged persistent stores at run
+// time, but only on the paths a test happens to execute. tsp_lint is
+// the static half of the net: a lightweight lexical pass over the C++
+// sources that flags, without running anything:
+//
+//   raw-store       an assignment (or memcpy/memset/memmove) through a
+//                   pointer to a persistent type that bypasses the
+//                   Store/StoreField/StoreBytes API. Persistent types
+//                   are discovered by their `kPersistentTypeId` member.
+//   pmutex-pairing  a source file whose bare PMutex lock()/unlock()
+//                   calls are unbalanced (use PMutexLock RAII).
+//   flush-misuse    a direct FlushLine/StoreFence call outside the
+//                   persistence-policy layer; the whole point of TSP
+//                   mode is that data-path code never flushes.
+//
+// Escape hatches:
+//   `// tsp-lint: allow(<rule>)` on the offending line or the line
+//   directly above suppresses that rule there (used for blessed raw
+//   initialization of unpublished objects).
+//   A file containing `tsp-lint: nonblocking` anywhere declares a §4.1
+//   non-blocking domain: raw-store is off for the whole file, matching
+//   the dynamic sanitizer's RegisterNonBlockingRange exemption.
+//
+// This is a lexer, not a compiler: it tracks pointer declarations per
+// file and pattern-matches write statements. It trades soundness for
+// zero build-time cost and no toolchain dependencies; TSPSan covers
+// the dynamic side of anything it misses.
+
+#ifndef TSP_TOOLS_LINT_LINT_H_
+#define TSP_TOOLS_LINT_LINT_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/findings.h"
+
+namespace tsp::lint {
+
+struct LintConfig {
+  /// Files whose path contains one of these substrings may call the
+  /// raw flush primitives (they implement the policy layer).
+  std::vector<std::string> flush_whitelist = {
+      "common/flush",
+      "simnvm/",
+      "core/persistence_policy",
+      "bench_flush",
+  };
+  /// Directory / path components never scanned.
+  std::vector<std::string> skip_components = {
+      "build", "testdata", ".git", "third_party",
+  };
+};
+
+/// Recursively collects .h/.hpp/.cc/.cpp files under each root (a root
+/// may also be a single file), skipping config.skip_components.
+/// Deterministic (sorted) order.
+std::vector<std::string> GatherSources(const std::vector<std::string>& roots,
+                                       const LintConfig& config);
+
+/// Pass 1: returns the names of all types declaring a
+/// `kPersistentTypeId` member in the given files.
+std::set<std::string> CollectPersistentTypes(
+    const std::vector<std::string>& files);
+
+/// Pass 2: lints one file against the collected persistent type names.
+void LintFile(const std::string& path, const std::set<std::string>& types,
+              const LintConfig& config, report::FindingSink* sink);
+
+/// Gather + collect + lint in one call.
+void LintTree(const std::vector<std::string>& roots, const LintConfig& config,
+              report::FindingSink* sink);
+
+}  // namespace tsp::lint
+
+#endif  // TSP_TOOLS_LINT_LINT_H_

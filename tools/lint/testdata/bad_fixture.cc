@@ -1,0 +1,56 @@
+// tsp_lint test fixture: every rule fires at least once in this file.
+// NOT compiled into any target; tools/lint/testdata/ is excluded from
+// tree-wide scans by LintConfig::skip_components. Expected findings are
+// asserted line-by-line in tests/lint/lint_test.cc — keep line numbers
+// stable or update that test.
+
+#include <cstring>
+
+struct FixtureNode {
+  static constexpr unsigned kPersistentTypeId = 0x46495854;  // "FIXT"
+  unsigned long key;
+  unsigned long value;
+  FixtureNode* next;
+};
+
+struct PlainNode {  // no kPersistentTypeId: writes through it are fine
+  unsigned long value;
+};
+
+extern void StoreField(void* thread, unsigned long* addr, unsigned long v);
+
+void RawStores(FixtureNode* node, PlainNode* plain) {
+  node->value = 7;                       // raw-store (line 23)
+  node->key += 1;                        // raw-store (line 24)
+  plain->value = 9;                      // clean: not a persistent type
+  // tsp-lint: allow(raw-store) -- blessed unpublished-object init
+  node->next = nullptr;                  // clean: annotated above
+  node->value = 11;  /* tsp-lint: allow(raw-store) */  // clean: same line
+  if (node->key == 7) return;            // clean: comparison, not a store
+}
+
+void RawMemWrite(FixtureNode* node) {
+  std::memset(node, 0, sizeof(*node));   // raw-store (line 33)
+  unsigned long v = 5;
+  std::memcpy(&node->value, &v, sizeof(v));  // raw-store (line 35)
+}
+
+void DoublePointer(FixtureNode** link, FixtureNode* entry) {
+  *link = entry;                         // raw-store (line 39)
+}
+
+struct PMutex {
+  void lock();
+  void unlock();
+};
+
+void UnbalancedLocking(PMutex* mu, FixtureNode* node) {
+  mu->lock();                            // pmutex-pairing: never unlocked
+  StoreField(nullptr, &node->value, 3);  // clean: logged-store API
+}
+
+extern void FlushLine(const void* p);  // tsp-lint: allow(flush-misuse)
+
+void StrayFlush(FixtureNode* node) {
+  FlushLine(node);                       // flush-misuse (line 56)
+}

@@ -1,0 +1,15 @@
+// tsp_lint test fixture: a declared §4.1 non-blocking domain.
+// The marker below disables the raw-store rule for the whole file,
+// mirroring the dynamic sanitizer's RegisterNonBlockingRange exemption.
+// tsp-lint: nonblocking
+
+struct NbNode {
+  static constexpr unsigned kPersistentTypeId = 0x4E424E44;  // "NBND"
+  unsigned long value;
+  NbNode* next;
+};
+
+void PlainCasStyleWrites(NbNode* node) {
+  node->value = 1;  // clean: whole file is a non-blocking domain
+  node->next = nullptr;
+}

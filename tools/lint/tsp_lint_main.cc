@@ -1,0 +1,89 @@
+// Copyright 2026 The TSP Authors.
+// tsp_lint CLI: static checker for the logged-store contract.
+//
+//   tsp_lint [--json] [--error-on-findings] [--cap N] PATH...
+//
+// PATH is a file or a directory scanned recursively for C++ sources.
+// Persistent types are collected from the same path set, so pass the
+// directories that define the types (typically src/) alongside the
+// ones you want checked.
+//
+// Exit codes: 0 = clean (or findings without --error-on-findings),
+// 1 = findings present and --error-on-findings given, 2 = usage error.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/findings.h"
+#include "lint/lint.h"
+
+namespace {
+
+void Usage() {
+  std::fprintf(stderr,
+               "usage: tsp_lint [--json] [--error-on-findings] [--cap N] "
+               "PATH...\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool json = false;
+  bool error_on_findings = false;
+  std::size_t cap = 256;
+  std::vector<std::string> roots;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      json = true;
+    } else if (arg == "--error-on-findings") {
+      error_on_findings = true;
+    } else if (arg == "--cap") {
+      if (i + 1 >= argc) {
+        Usage();
+        return 2;
+      }
+      cap = static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else if (arg == "--help" || arg == "-h") {
+      Usage();
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "tsp_lint: unknown flag %s\n", arg.c_str());
+      Usage();
+      return 2;
+    } else {
+      roots.push_back(arg);
+    }
+  }
+  if (roots.empty()) {
+    Usage();
+    return 2;
+  }
+
+  tsp::lint::LintConfig config;
+  tsp::report::FindingSink sink(cap);
+  const std::vector<std::string> files =
+      tsp::lint::GatherSources(roots, config);
+  const std::set<std::string> types =
+      tsp::lint::CollectPersistentTypes(files);
+  for (const std::string& path : files) {
+    tsp::lint::LintFile(path, types, config, &sink);
+  }
+
+  if (json) {
+    std::printf("%s\n", sink.ToJson().c_str());
+  } else {
+    if (!sink.empty()) {
+      std::printf("%s", sink.ToText().c_str());
+    }
+    std::printf(
+        "tsp_lint: scanned %zu files, %zu persistent types, %zu findings "
+        "(%zu errors)\n",
+        files.size(), types.size(), sink.total(), sink.error_count());
+  }
+  return (error_on_findings && !sink.empty()) ? 1 : 0;
+}

@@ -4,11 +4,15 @@
 // never runs recovery; safe to point at a live application's heap file
 // or at a crashed one awaiting recovery.
 //
-//   $ tsp_inspect <heap-file> header    # region control block
-//   $ tsp_inspect <heap-file> alloc     # allocator accounting
-//   $ tsp_inspect <heap-file> check     # full integrity check
-//   $ tsp_inspect <heap-file> log       # Atlas undo-log summary
-//   $ tsp_inspect <heap-file> log -v    # ... with per-entry dump
+//   $ tsp_inspect <heap-file> header        # region control block
+//   $ tsp_inspect <heap-file> alloc         # allocator accounting
+//   $ tsp_inspect <heap-file> check         # full integrity check
+//   $ tsp_inspect <heap-file> check --json  # ... machine-readable findings
+//   $ tsp_inspect <heap-file> log           # Atlas undo-log summary
+//   $ tsp_inspect <heap-file> log -v        # ... with per-entry dump
+//
+// `check` and `log` exit nonzero when the heap (or its undo log) is
+// inconsistent, so scripts and CI can gate on them.
 
 #include <cinttypes>
 #include <cstdio>
@@ -16,6 +20,7 @@
 #include <string>
 
 #include "atlas/log_layout.h"
+#include "common/findings.h"
 #include "lockfree/queue.h"
 #include "lockfree/skiplist.h"
 #include "maps/mutex_hashmap.h"
@@ -87,7 +92,7 @@ int ShowAlloc(const PersistentHeap& heap) {
   return 0;
 }
 
-int ShowCheck(const PersistentHeap& heap) {
+int ShowCheck(const PersistentHeap& heap, bool json) {
   // Register the library's standard persistent types so reachability
   // can trace the built-in data structures; application-specific types
   // show up as leaves.
@@ -96,11 +101,18 @@ int ShowCheck(const PersistentHeap& heap) {
   tsp::lockfree::LockFreeQueue::RegisterTypes(&registry);
   const tsp::pheap::CheckReport report =
       tsp::pheap::CheckHeap(heap, registry);
-  std::printf("%s\n", report.ToString().c_str());
+  if (json) {
+    tsp::report::FindingSink sink(64);
+    report.AppendTo(&sink);
+    std::printf("%s\n", sink.ToJson().c_str());
+  } else {
+    std::printf("%s\n", report.ToString().c_str());
+  }
   return report.ok ? 0 : 1;
 }
 
 int ShowLog(const PersistentHeap& heap, bool verbose) {
+  int exit_code = 0;
   void* area_base = const_cast<void*>(
       static_cast<const void*>(heap.runtime_area()));
   if (!tsp::atlas::AtlasArea::Validate(area_base,
@@ -124,7 +136,7 @@ int ShowLog(const PersistentHeap& heap, bool verbose) {
     }
     std::uint64_t max_store_seq = 0;
     std::uint64_t stores = 0;
-    bool monotone = true;
+    bool monotone = true;  // any violation flips the exit code below
     for (std::uint64_t i = head; i < tail; ++i) {
       const tsp::atlas::LogEntry* entry = area.entry(t, i);
       if (entry->kind != tsp::atlas::EntryKind::kStore) continue;
@@ -142,6 +154,7 @@ int ShowLog(const PersistentHeap& heap, bool verbose) {
       std::printf(" stores=%" PRIu64 " max_store_seq=%" PRIu64 "%s",
                   stores, max_store_seq,
                   monotone ? "" : " [NOT MONOTONE]");
+      if (!monotone) exit_code = 1;
     }
     std::printf("\n");
     if (!verbose) continue;
@@ -153,7 +166,7 @@ int ShowLog(const PersistentHeap& heap, bool verbose) {
                   entry->addr_offset, entry->payload);
     }
   }
-  return 0;
+  return exit_code;
 }
 
 }  // namespace
@@ -161,8 +174,8 @@ int ShowLog(const PersistentHeap& heap, bool verbose) {
 int main(int argc, char** argv) {
   if (argc < 3) {
     std::fprintf(stderr,
-                 "usage: %s <heap-file> {header | alloc | check | log "
-                 "[-v]}\n",
+                 "usage: %s <heap-file> {header | alloc | check [--json] "
+                 "| log [-v]}\n",
                  argv[0]);
     return 2;
   }
@@ -176,7 +189,10 @@ int main(int argc, char** argv) {
   const std::string command = argv[2];
   if (command == "header") return ShowHeader(**heap);
   if (command == "alloc") return ShowAlloc(**heap);
-  if (command == "check") return ShowCheck(**heap);
+  if (command == "check") {
+    return ShowCheck(**heap,
+                     argc > 3 && std::strcmp(argv[3], "--json") == 0);
+  }
   if (command == "log") {
     return ShowLog(**heap, argc > 3 && std::strcmp(argv[3], "-v") == 0);
   }
