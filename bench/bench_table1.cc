@@ -13,14 +13,22 @@
 // Absolute numbers depend on the host; the *shape* — native > log-only
 // > log+flush, with a substantial TSP gain — is the reproduced result.
 //
+// A shard-count sweep (--shards 1,4) repeats the whole table with the
+// map split across N shard heaps (total arena size held constant), to
+// show the Table-1 shape survives sharding and to expose any routing
+// overhead. The JSON output carries one entry per shard count in
+// "runs".
+//
 // Besides the text table, the run is dumped as machine-readable JSON
 // (per-variant throughput, flush and sequence-lease counters, derived
 // percentages, shape verdict) for the plotting/CI tooling.
 //
-// Flags: --threads N (default 8, as in the paper)
-//        --iters N   (per thread, default 150000)
-//        --high N    (|H|, default 2^20 as in a "much larger" range)
-//        --json PATH (default results/table1.json; "" disables)
+// Flags: --threads N    (default 8, as in the paper)
+//        --iters N      (per thread, default 150000)
+//        --high N       (|H|, default 2^20 as in a "much larger" range)
+//        --shards LIST  (comma-separated shard counts, default "1")
+//        --json PATH    (default results/table1.json; "" disables)
+// Both `--flag value` and `--flag=value` forms are accepted.
 
 #include <sys/stat.h>
 #include <unistd.h>
@@ -30,6 +38,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "atlas/runtime.h"
 #include "common/flush.h"
@@ -52,22 +61,49 @@ struct Row {
   double miters = 0;
   std::uint64_t lines_flushed = 0;
   std::uint64_t fences = 0;
-  /// Atlas counters; all zero for the unlogged variants.
+  /// Atlas counters; all zero for the unlogged variants. Summed across
+  /// shard runtimes in sharded runs.
   AtlasRuntimeStats atlas;
 };
 
-void RunVariant(const WorkloadOptions& workload, Row* row) {
+/// One full four-variant table at a given shard count.
+struct RunSet {
+  int shards = 1;
+  Row rows[4] = {
+      {"no Atlas (native)", MapVariant::kMutexNative},
+      {"log only (TSP)", MapVariant::kMutexLogOnly},
+      {"log + flush (non-TSP)", MapVariant::kMutexLogFlush},
+      {"non-blocking skip list", MapVariant::kLockFreeSkipList},
+  };
+  double native() const { return rows[0].miters; }
+  double log_only() const { return rows[1].miters; }
+  double log_flush() const { return rows[2].miters; }
+  bool shape_holds() const {
+    return native() > log_only() && log_only() > log_flush();
+  }
+};
+
+constexpr std::size_t kRowCount = 4;
+constexpr std::uint64_t kTotalArenaBytes = 1536ULL * 1024 * 1024;
+
+void RunVariant(const WorkloadOptions& workload, int shards, Row* row) {
   const std::string path =
       "/dev/shm/tsp_table1_" + std::to_string(getpid()) + ".heap";
-  unlink(path.c_str());
 
   MapSession::Config config;
   config.variant = row->variant;
   config.path = path;
-  config.heap_size = 1536ULL * 1024 * 1024;
+  // Hold the TOTAL arena constant across shard counts so the sweep
+  // compares routing/locality, not memory budget.
+  config.heap_size = kTotalArenaBytes / static_cast<unsigned>(shards);
   config.runtime_area_size = 64 * 1024 * 1024;
-  config.hash_options.bucket_count = 1 << 20;
+  config.shards = shards;
+  config.hash_options.bucket_count = (1 << 20) / static_cast<unsigned>(shards);
   config.hash_options.buckets_per_lock = 1000;  // the paper's granularity
+
+  for (const std::string& shard_path : MapSession::ShardPaths(config)) {
+    unlink(shard_path.c_str());
+  }
 
   auto session = MapSession::OpenOrCreate(config);
   if (!session.ok()) {
@@ -82,20 +118,26 @@ void RunVariant(const WorkloadOptions& workload, Row* row) {
   row->miters = result.millions_iter_per_sec;
   row->lines_flushed = tsp::GlobalFlushStats().lines_flushed.load();
   row->fences = tsp::GlobalFlushStats().fences.load();
-  if ((*session)->runtime() != nullptr) {
-    row->atlas = (*session)->runtime()->GetStats();
+  for (int s = 0; s < (*session)->shard_count(); ++s) {
+    if ((*session)->runtime(s) == nullptr) break;
+    const AtlasRuntimeStats stats = (*session)->runtime(s)->GetStats();
+    row->atlas.undo_records += stats.undo_records;
+    row->atlas.seq_blocks_leased += stats.seq_blocks_leased;
+    row->atlas.seq_resyncs += stats.seq_resyncs;
+    row->atlas.batched_publishes += stats.batched_publishes;
   }
 
   (*session)->CloseClean();
   session->reset();
-  unlink(path.c_str());
+  for (const std::string& shard_path : MapSession::ShardPaths(config)) {
+    unlink(shard_path.c_str());
+  }
 }
 
 /// Writes results as JSON. No dependency-free JSON library in-tree, and
 /// the structure is flat, so emit it by hand.
 bool WriteJson(const std::string& json_path, const WorkloadOptions& workload,
-               const Row* rows, std::size_t row_count, double native,
-               double log_only, double log_flush, bool shape_holds) {
+               const std::vector<RunSet>& runs) {
   const std::size_t slash = json_path.rfind('/');
   if (slash != std::string::npos) {
     const std::string dir = json_path.substr(0, slash);
@@ -121,43 +163,69 @@ bool WriteJson(const std::string& json_path, const WorkloadOptions& workload,
                static_cast<unsigned long long>(workload.high_range));
   std::fprintf(f, "  \"flush_instruction\": \"%s\",\n",
                tsp::FlushInstructionName(tsp::BestFlushInstruction()));
-  std::fprintf(f, "  \"variants\": [\n");
-  for (std::size_t i = 0; i < row_count; ++i) {
-    const Row& row = rows[i];
+  std::fprintf(f, "  \"runs\": [\n");
+  for (std::size_t r = 0; r < runs.size(); ++r) {
+    const RunSet& run = runs[r];
     std::fprintf(f, "    {\n");
-    std::fprintf(f, "      \"variant\": \"%s\",\n",
-                 MapVariantName(row.variant));
-    std::fprintf(f, "      \"label\": \"%s\",\n", row.label);
-    std::fprintf(f, "      \"miters_per_sec\": %.6f,\n", row.miters);
-    std::fprintf(f, "      \"lines_flushed\": %llu,\n",
-                 static_cast<unsigned long long>(row.lines_flushed));
-    std::fprintf(f, "      \"fences\": %llu,\n",
-                 static_cast<unsigned long long>(row.fences));
-    std::fprintf(f, "      \"undo_records\": %llu,\n",
-                 static_cast<unsigned long long>(row.atlas.undo_records));
-    std::fprintf(f, "      \"seq_blocks_leased\": %llu,\n",
-                 static_cast<unsigned long long>(
-                     row.atlas.seq_blocks_leased));
-    std::fprintf(f, "      \"seq_resyncs\": %llu,\n",
-                 static_cast<unsigned long long>(row.atlas.seq_resyncs));
-    std::fprintf(f, "      \"batched_publishes\": %llu\n",
-                 static_cast<unsigned long long>(
-                     row.atlas.batched_publishes));
-    std::fprintf(f, "    }%s\n", i + 1 < row_count ? "," : "");
+    std::fprintf(f, "      \"shards\": %d,\n", run.shards);
+    std::fprintf(f, "      \"variants\": [\n");
+    for (std::size_t i = 0; i < kRowCount; ++i) {
+      const Row& row = run.rows[i];
+      std::fprintf(f, "        {\n");
+      std::fprintf(f, "          \"variant\": \"%s\",\n",
+                   MapVariantName(row.variant));
+      std::fprintf(f, "          \"label\": \"%s\",\n", row.label);
+      std::fprintf(f, "          \"miters_per_sec\": %.6f,\n", row.miters);
+      std::fprintf(f, "          \"lines_flushed\": %llu,\n",
+                   static_cast<unsigned long long>(row.lines_flushed));
+      std::fprintf(f, "          \"fences\": %llu,\n",
+                   static_cast<unsigned long long>(row.fences));
+      std::fprintf(f, "          \"undo_records\": %llu,\n",
+                   static_cast<unsigned long long>(row.atlas.undo_records));
+      std::fprintf(f, "          \"seq_blocks_leased\": %llu,\n",
+                   static_cast<unsigned long long>(
+                       row.atlas.seq_blocks_leased));
+      std::fprintf(f, "          \"seq_resyncs\": %llu,\n",
+                   static_cast<unsigned long long>(row.atlas.seq_resyncs));
+      std::fprintf(f, "          \"batched_publishes\": %llu\n",
+                   static_cast<unsigned long long>(
+                       row.atlas.batched_publishes));
+      std::fprintf(f, "        }%s\n", i + 1 < kRowCount ? "," : "");
+    }
+    std::fprintf(f, "      ],\n");
+    std::fprintf(f, "      \"derived\": {\n");
+    std::fprintf(f, "        \"log_only_overhead_pct\": %.2f,\n",
+                 (1 - run.log_only() / run.native()) * 100);
+    std::fprintf(f, "        \"log_flush_overhead_pct\": %.2f,\n",
+                 (1 - run.log_flush() / run.native()) * 100);
+    std::fprintf(f, "        \"tsp_gain_pct\": %.2f\n",
+                 (run.log_only() / run.log_flush() - 1) * 100);
+    std::fprintf(f, "      },\n");
+    std::fprintf(f, "      \"shape_holds\": %s\n",
+                 run.shape_holds() ? "true" : "false");
+    std::fprintf(f, "    }%s\n", r + 1 < runs.size() ? "," : "");
   }
-  std::fprintf(f, "  ],\n");
-  std::fprintf(f, "  \"derived\": {\n");
-  std::fprintf(f, "    \"log_only_overhead_pct\": %.2f,\n",
-               (1 - log_only / native) * 100);
-  std::fprintf(f, "    \"log_flush_overhead_pct\": %.2f,\n",
-               (1 - log_flush / native) * 100);
-  std::fprintf(f, "    \"tsp_gain_pct\": %.2f\n",
-               (log_only / log_flush - 1) * 100);
-  std::fprintf(f, "  },\n");
-  std::fprintf(f, "  \"shape_holds\": %s\n", shape_holds ? "true" : "false");
+  std::fprintf(f, "  ]\n");
   std::fprintf(f, "}\n");
   std::fclose(f);
   return true;
+}
+
+std::vector<int> ParseShardList(const std::string& list) {
+  std::vector<int> shards;
+  std::size_t start = 0;
+  while (start <= list.size()) {
+    std::size_t comma = list.find(',', start);
+    if (comma == std::string::npos) comma = list.size();
+    const std::string token = list.substr(start, comma - start);
+    if (!token.empty()) {
+      const int n = std::atoi(token.c_str());
+      if (n >= 1) shards.push_back(n);
+    }
+    start = comma + 1;
+  }
+  if (shards.empty()) shards.push_back(1);
+  return shards;
 }
 
 }  // namespace
@@ -168,26 +236,36 @@ int main(int argc, char** argv) {
   workload.iterations_per_thread = 150000;
   workload.high_range = 1 << 20;
   std::string json_path = "results/table1.json";
-  for (int i = 1; i + 1 < argc; i += 2) {
-    if (std::strcmp(argv[i], "--threads") == 0) {
-      workload.threads = std::atoi(argv[i + 1]);
-    } else if (std::strcmp(argv[i], "--iters") == 0) {
-      workload.iterations_per_thread =
-          std::strtoull(argv[i + 1], nullptr, 0);
-    } else if (std::strcmp(argv[i], "--high") == 0) {
-      workload.high_range = std::strtoull(argv[i + 1], nullptr, 0);
-    } else if (std::strcmp(argv[i], "--json") == 0) {
-      json_path = argv[i + 1];
+  std::string shard_list = "1";
+  for (int i = 1; i < argc; ++i) {
+    // Accept `--flag value` and `--flag=value`.
+    std::string flag = argv[i];
+    std::string value;
+    const std::size_t eq = flag.find('=');
+    if (eq != std::string::npos) {
+      value = flag.substr(eq + 1);
+      flag = flag.substr(0, eq);
+    } else if (i + 1 < argc) {
+      value = argv[++i];
+    } else {
+      std::fprintf(stderr, "missing value for %s\n", flag.c_str());
+      return 2;
+    }
+    if (flag == "--threads") {
+      workload.threads = std::atoi(value.c_str());
+    } else if (flag == "--iters") {
+      workload.iterations_per_thread = std::strtoull(value.c_str(), nullptr, 0);
+    } else if (flag == "--high") {
+      workload.high_range = std::strtoull(value.c_str(), nullptr, 0);
+    } else if (flag == "--shards") {
+      shard_list = value;
+    } else if (flag == "--json") {
+      json_path = value;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
+      return 2;
     }
   }
-
-  Row rows[] = {
-      {"no Atlas (native)", MapVariant::kMutexNative},
-      {"log only (TSP)", MapVariant::kMutexLogOnly},
-      {"log + flush (non-TSP)", MapVariant::kMutexLogFlush},
-      {"non-blocking skip list", MapVariant::kLockFreeSkipList},
-  };
-  constexpr std::size_t kRowCount = sizeof(rows) / sizeof(rows[0]);
 
   std::printf("Table 1 reproduction: map workload, %d worker threads, "
               "|H|=%llu, %llu iterations/thread\n",
@@ -195,42 +273,45 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(workload.high_range),
               static_cast<unsigned long long>(
                   workload.iterations_per_thread));
-  std::printf("(each iteration = 3 atomic map operations; flush insn: %s)\n\n",
+  std::printf("(each iteration = 3 atomic map operations; flush insn: %s)\n",
               tsp::FlushInstructionName(tsp::BestFlushInstruction()));
-  std::printf("  %-26s %14s %16s %14s %12s\n", "variant", "Miter/s",
-              "lines flushed", "seq leases", "resyncs");
 
-  for (Row& row : rows) {
-    RunVariant(workload, &row);
-    std::printf("  %-26s %14.3f %16llu %14llu %12llu\n", row.label,
-                row.miters,
-                static_cast<unsigned long long>(row.lines_flushed),
-                static_cast<unsigned long long>(row.atlas.seq_blocks_leased),
-                static_cast<unsigned long long>(row.atlas.seq_resyncs));
+  std::vector<RunSet> runs;
+  for (const int shards : ParseShardList(shard_list)) {
+    RunSet run;
+    run.shards = shards;
+    std::printf("\n--- %d shard heap%s (total arena %llu MB) ---\n", shards,
+                shards == 1 ? "" : "s",
+                static_cast<unsigned long long>(kTotalArenaBytes >> 20));
+    std::printf("  %-26s %14s %16s %14s %12s\n", "variant", "Miter/s",
+                "lines flushed", "seq leases", "resyncs");
+    for (Row& row : run.rows) {
+      RunVariant(workload, shards, &row);
+      std::printf("  %-26s %14.3f %16llu %14llu %12llu\n", row.label,
+                  row.miters,
+                  static_cast<unsigned long long>(row.lines_flushed),
+                  static_cast<unsigned long long>(row.atlas.seq_blocks_leased),
+                  static_cast<unsigned long long>(row.atlas.seq_resyncs));
+    }
+    std::printf("\nDerived (paper §5.2 reports desktop/server):\n");
+    std::printf("  Atlas log-only overhead vs native:   %5.1f%%  "
+                "(paper: ~35%% / ~30%%)\n",
+                (1 - run.log_only() / run.native()) * 100);
+    std::printf("  Atlas log+flush overhead vs native:  %5.1f%%  "
+                "(paper: ~57%% / ~50%%)\n",
+                (1 - run.log_flush() / run.native()) * 100);
+    std::printf("  TSP gain (log-only vs log+flush):    %5.1f%%  "
+                "(paper: +49%% / +42%%)\n",
+                (run.log_only() / run.log_flush() - 1) * 100);
+    std::printf("\nshape check (native > log-only > log+flush): %s\n",
+                run.shape_holds() ? "HOLDS" : "VIOLATED");
+    runs.push_back(run);
   }
 
-  const double native = rows[0].miters;
-  const double log_only = rows[1].miters;
-  const double log_flush = rows[2].miters;
-  std::printf("\nDerived (paper §5.2 reports desktop/server):\n");
-  std::printf("  Atlas log-only overhead vs native:   %5.1f%%  "
-              "(paper: ~35%% / ~30%%)\n",
-              (1 - log_only / native) * 100);
-  std::printf("  Atlas log+flush overhead vs native:  %5.1f%%  "
-              "(paper: ~57%% / ~50%%)\n",
-              (1 - log_flush / native) * 100);
-  std::printf("  TSP gain (log-only vs log+flush):    %5.1f%%  "
-              "(paper: +49%% / +42%%)\n",
-              (log_only / log_flush - 1) * 100);
-
-  const bool shape_holds = native > log_only && log_only > log_flush;
-  std::printf("\nshape check (native > log-only > log+flush): %s\n",
-              shape_holds ? "HOLDS" : "VIOLATED");
-
-  if (!json_path.empty() &&
-      WriteJson(json_path, workload, rows, kRowCount, native, log_only,
-                log_flush, shape_holds)) {
+  if (!json_path.empty() && WriteJson(json_path, workload, runs)) {
     std::printf("json results written to %s\n", json_path.c_str());
   }
-  return shape_holds ? 0 : 1;
+  // Gate on the canonical single-heap run; sharded runs are reported
+  // but their shape depends on core count.
+  return runs.front().shape_holds() ? 0 : 1;
 }

@@ -1,7 +1,9 @@
 #include "atlas/recovery.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cstring>
+#include <thread>
 #include <unordered_map>
 #include <vector>
 
@@ -244,6 +246,46 @@ StatusOr<FullRecoveryResult> RecoverHeap(
   result.gc = heap->RunRecoveryGc(registry);
   heap->FinishRecovery();
   return result;
+}
+
+std::vector<ShardRecovery> RecoverHeapsParallel(
+    const std::vector<pheap::PersistentHeap*>& heaps,
+    const pheap::TypeRegistry& registry, int threads) {
+  std::vector<ShardRecovery> results(heaps.size());
+  if (heaps.empty()) return results;
+
+  std::size_t worker_count = threads > 0
+                                 ? static_cast<std::size_t>(threads)
+                                 : std::thread::hardware_concurrency();
+  if (worker_count == 0) worker_count = 1;
+  worker_count = std::min(worker_count, heaps.size());
+
+  // Shard recoveries share no state (per-heap logs, locks, counters;
+  // see the header comment), so a work-stealing index is all the
+  // coordination needed.
+  std::atomic<std::size_t> next{0};
+  auto worker = [&] {
+    for (std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+         i < heaps.size();
+         i = next.fetch_add(1, std::memory_order_relaxed)) {
+      auto recovered = RecoverHeap(heaps[i], registry);
+      if (recovered.ok()) {
+        results[i].result = *std::move(recovered);
+      } else {
+        results[i].status = recovered.status();
+      }
+    }
+  };
+
+  if (worker_count == 1) {
+    worker();
+    return results;
+  }
+  std::vector<std::thread> pool;
+  pool.reserve(worker_count);
+  for (std::size_t w = 0; w < worker_count; ++w) pool.emplace_back(worker);
+  for (std::thread& t : pool) t.join();
+  return results;
 }
 
 }  // namespace tsp::atlas

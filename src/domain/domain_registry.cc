@@ -1,0 +1,78 @@
+#include "domain/domain_registry.h"
+
+namespace tsp::domain {
+
+StatusOr<PersistenceDomain*> DomainRegistry::Open(
+    const std::string& name, const PersistenceDomain::Options& options,
+    const pheap::TypeRegistry* registry) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (domains_.count(name) > 0) {
+      return Status::AlreadyExists("domain already open: " + name);
+    }
+  }
+  // Open outside the lock: domain opening does heavy work (mapping,
+  // recovery) and may itself be parallel.
+  TSP_ASSIGN_OR_RETURN(std::unique_ptr<PersistenceDomain> domain,
+                       PersistenceDomain::Open(options, registry));
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto [it, inserted] = domains_.emplace(name, std::move(domain));
+  if (!inserted) {
+    // Lost a race for the name; the loser's heaps unmap right here,
+    // which is safe (distinct paths map distinct slots; the same path
+    // would have failed its slot reservation above).
+    return Status::AlreadyExists("domain already open: " + name);
+  }
+  return it->second.get();
+}
+
+PersistenceDomain* DomainRegistry::Find(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = domains_.find(name);
+  return it == domains_.end() ? nullptr : it->second.get();
+}
+
+Status DomainRegistry::Close(const std::string& name) {
+  std::unique_ptr<PersistenceDomain> domain;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = domains_.find(name);
+    if (it == domains_.end()) {
+      return Status::NotFound("no open domain: " + name);
+    }
+    domain = std::move(it->second);
+    domains_.erase(it);
+  }
+  domain->CloseClean();
+  return Status::OK();
+}
+
+void DomainRegistry::CloseAllClean() {
+  std::map<std::string, std::unique_ptr<PersistenceDomain>> taken;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    taken.swap(domains_);
+  }
+  for (auto& [name, domain] : taken) {
+    (void)name;
+    domain->CloseClean();
+  }
+}
+
+std::vector<std::string> DomainRegistry::names() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> out;
+  out.reserve(domains_.size());
+  for (const auto& [name, domain] : domains_) {
+    (void)domain;
+    out.push_back(name);
+  }
+  return out;
+}
+
+std::size_t DomainRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return domains_.size();
+}
+
+}  // namespace tsp::domain

@@ -1,0 +1,58 @@
+// Copyright 2026 The TSP Authors.
+// DomainRegistry: named persistence domains for one process.
+//
+// A process can host many domains at once — each on its own backend
+// (file, /dev/shm, anonymous test memory, simnvm shadow) and in its own
+// address slot(s) — the multi-object shape PMO-style systems argue for,
+// here on top of TSP semantics. The registry is the bookkeeping: open
+// by name, look up by name, close everything cleanly on shutdown.
+
+#ifndef TSP_DOMAIN_DOMAIN_REGISTRY_H_
+#define TSP_DOMAIN_DOMAIN_REGISTRY_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "domain/persistence_domain.h"
+
+namespace tsp::domain {
+
+class DomainRegistry {
+ public:
+  DomainRegistry() = default;
+
+  DomainRegistry(const DomainRegistry&) = delete;
+  DomainRegistry& operator=(const DomainRegistry&) = delete;
+
+  /// Opens (creating if absent) a domain under `name`. kAlreadyExists
+  /// when the name is taken. The returned pointer stays valid until
+  /// Close(name) / registry destruction.
+  StatusOr<PersistenceDomain*> Open(const std::string& name,
+                                    const PersistenceDomain::Options& options,
+                                    const pheap::TypeRegistry* registry);
+
+  /// The domain under `name`, or nullptr.
+  PersistenceDomain* Find(const std::string& name) const;
+
+  /// Marks the domain's orderly shutdown and drops it. kNotFound when
+  /// absent.
+  Status Close(const std::string& name);
+
+  /// CloseClean on every open domain, then drops them all.
+  void CloseAllClean();
+
+  std::vector<std::string> names() const;
+  std::size_t size() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<PersistenceDomain>> domains_;
+};
+
+}  // namespace tsp::domain
+
+#endif  // TSP_DOMAIN_DOMAIN_REGISTRY_H_

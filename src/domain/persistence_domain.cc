@@ -1,11 +1,52 @@
 #include "domain/persistence_domain.h"
 
 namespace tsp::domain {
+namespace {
+
+void AccumulateRecovery(const atlas::FullRecoveryResult& shard,
+                        atlas::FullRecoveryResult* total) {
+  total->atlas.performed |= shard.atlas.performed;
+  total->atlas.rings_scanned += shard.atlas.rings_scanned;
+  total->atlas.entries_scanned += shard.atlas.entries_scanned;
+  total->atlas.ocses_seen += shard.atlas.ocses_seen;
+  total->atlas.ocses_incomplete += shard.atlas.ocses_incomplete;
+  total->atlas.ocses_cascaded += shard.atlas.ocses_cascaded;
+  total->atlas.stores_undone += shard.atlas.stores_undone;
+  total->gc.live_objects += shard.gc.live_objects;
+  total->gc.live_bytes += shard.gc.live_bytes;
+  total->gc.free_blocks += shard.gc.free_blocks;
+  total->gc.free_bytes += shard.gc.free_bytes;
+  total->gc.tail_reclaimed_bytes += shard.gc.tail_reclaimed_bytes;
+  total->gc.sliver_bytes += shard.gc.sliver_bytes;
+  total->gc.invalid_pointers += shard.gc.invalid_pointers;
+}
+
+}  // namespace
+
+std::vector<std::string> PersistenceDomain::ShardPaths(
+    const Options& options) {
+  if (options.shards <= 1) return {options.path};
+  std::vector<std::string> paths;
+  paths.reserve(options.shards);
+  paths.push_back(options.path);
+  for (int i = 1; i < options.shards; ++i) {
+    paths.push_back(options.path + ".shard" + std::to_string(i));
+  }
+  return paths;
+}
 
 StatusOr<std::unique_ptr<PersistenceDomain>> PersistenceDomain::Open(
     const Options& options, const pheap::TypeRegistry* registry) {
   if (registry == nullptr) {
     return Status::InvalidArgument("a type registry is required");
+  }
+  if (options.shards < 1) {
+    return Status::InvalidArgument("shards must be >= 1");
+  }
+  if (options.shards > 1 && options.region.base_address != 0) {
+    return Status::InvalidArgument(
+        "sharded domains place every shard in its own address slot; "
+        "leave region.base_address at 0");
   }
   auto domain = std::unique_ptr<PersistenceDomain>(new PersistenceDomain());
   domain->registry_ = registry;
@@ -15,13 +56,33 @@ StatusOr<std::unique_ptr<PersistenceDomain>> PersistenceDomain::Open(
         "no persistence plan satisfies the requirements on this hardware");
   }
 
-  TSP_ASSIGN_OR_RETURN(domain->heap_, pheap::PersistentHeap::OpenOrCreate(
-                                          options.path, options.region));
-
-  if (domain->heap_->needs_recovery()) {
+  const std::vector<std::string> paths = ShardPaths(options);
+  bool any_needs_recovery = false;
+  for (const std::string& path : paths) {
     TSP_ASSIGN_OR_RETURN(
-        domain->recovery_,
-        atlas::RecoverHeap(domain->heap_.get(), *registry));
+        std::unique_ptr<pheap::PersistentHeap> heap,
+        pheap::PersistentHeap::OpenOrCreate(path, options.region));
+    any_needs_recovery |= heap->needs_recovery();
+    domain->heaps_.push_back(std::move(heap));
+  }
+
+  if (any_needs_recovery) {
+    std::vector<pheap::PersistentHeap*> raw;
+    raw.reserve(domain->heaps_.size());
+    for (const auto& heap : domain->heaps_) raw.push_back(heap.get());
+    std::vector<atlas::ShardRecovery> recoveries =
+        atlas::RecoverHeapsParallel(raw, *registry,
+                                    options.recovery_threads);
+    for (std::size_t i = 0; i < recoveries.size(); ++i) {
+      if (!recoveries[i].status.ok()) {
+        return Status(recoveries[i].status.code(),
+                      "recovery of shard " + std::to_string(i) + " (" +
+                          paths[i] + ") failed: " +
+                          recoveries[i].status.message());
+      }
+      domain->shard_recoveries_.push_back(recoveries[i].result);
+      AccumulateRecovery(recoveries[i].result, &domain->recovery_);
+    }
     domain->recovered_ = true;
   }
 
@@ -30,23 +91,30 @@ StatusOr<std::unique_ptr<PersistenceDomain>> PersistenceDomain::Open(
         domain->plan_.atlas_mode == PersistenceMode::kLogOnly
             ? PersistencePolicy::TspLogOnly()
             : PersistencePolicy::SyncFlush();
-    domain->runtime_ = std::make_unique<atlas::AtlasRuntime>(
-        domain->heap_.get(), policy);
-    TSP_RETURN_IF_ERROR(domain->runtime_->Initialize());
+    for (const auto& heap : domain->heaps_) {
+      auto runtime =
+          std::make_unique<atlas::AtlasRuntime>(heap.get(), policy);
+      TSP_RETURN_IF_ERROR(runtime->Initialize());
+      domain->runtimes_.push_back(std::move(runtime));
+    }
   }
   return domain;
 }
 
 Status PersistenceDomain::Commit() {
   if (plan_.runtime_action == RuntimeAction::kSyncMsync) {
-    return heap_->SyncToBacking();
+    for (const auto& heap : heaps_) {
+      TSP_RETURN_IF_ERROR(heap->SyncToBacking());
+    }
   }
   return Status::OK();  // TSP or per-entry flushing: nothing to do here
 }
 
 void PersistenceDomain::CloseClean() {
-  runtime_.reset();
-  if (heap_ != nullptr) heap_->CloseClean();
+  runtimes_.clear();
+  for (const auto& heap : heaps_) {
+    if (heap != nullptr) heap->CloseClean();
+  }
 }
 
 PersistenceDomain::~PersistenceDomain() = default;

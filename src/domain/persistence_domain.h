@@ -9,12 +9,20 @@
 //
 // In other words: applications state *what failures they must survive*;
 // the domain decides how much (or, with TSP, how little) to pay for it.
+//
+// A domain can be sharded: Options::shards > 1 opens N heaps (path,
+// path + ".shard1", ...), each in its own address slot with its own
+// Atlas runtime and undo logs, and recovery runs per-shard in parallel
+// (atlas::RecoverHeapsParallel) — O(largest shard) instead of O(total).
+// Route data to shards however the application likes; maps/ShardedMap
+// is the ready-made key-hash router.
 
 #ifndef TSP_DOMAIN_PERSISTENCE_DOMAIN_H_
 #define TSP_DOMAIN_PERSISTENCE_DOMAIN_H_
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "atlas/recovery.h"
 #include "atlas/runtime.h"
@@ -32,51 +40,80 @@ class PersistenceDomain {
     std::string path;
     Requirements requirements;
     HardwareProfile hardware = HardwareProfile::ConventionalServer();
+    /// Per-shard region options (size is per shard). region.backend
+    /// selects the storage mechanics for every shard; region.base_address
+    /// must stay 0 when shards > 1 (each shard takes its own slot).
     pheap::RegionOptions region;
+    /// Number of independent shard heaps (1 = the classic single heap).
+    int shards = 1;
+    /// Worker threads for parallel shard recovery; 0 = min(shards,
+    /// hardware concurrency).
+    int recovery_threads = 0;
   };
 
   /// Opens (creating if absent) the domain. `registry` supplies the GC
   /// trace functions for recovery; keep it alive for the domain's
-  /// lifetime. Recovery (Atlas rollback + GC) runs automatically when
-  /// the previous session crashed.
+  /// lifetime. Recovery (Atlas rollback + GC, per shard in parallel)
+  /// runs automatically when the previous session crashed.
   static StatusOr<std::unique_ptr<PersistenceDomain>> Open(
       const Options& options, const pheap::TypeRegistry* registry);
+
+  /// The backing heap paths Open will use (index-aligned with shard
+  /// numbers). Useful for cleanup and offline inspection of a shard
+  /// set (tsp_inspect check <paths...>).
+  static std::vector<std::string> ShardPaths(const Options& options);
 
   ~PersistenceDomain();
 
   PersistenceDomain(const PersistenceDomain&) = delete;
   PersistenceDomain& operator=(const PersistenceDomain&) = delete;
 
-  pheap::PersistentHeap* heap() { return heap_.get(); }
+  int shard_count() const { return static_cast<int>(heaps_.size()); }
 
-  /// The Atlas runtime, or nullptr when the plan needs no rollback
-  /// machinery (non-blocking applications).
-  atlas::AtlasRuntime* runtime() { return runtime_.get(); }
+  /// Shard 0's heap (the only heap for unsharded domains).
+  pheap::PersistentHeap* heap() { return heaps_[0].get(); }
+  pheap::PersistentHeap* heap(int shard) { return heaps_[shard].get(); }
+
+  /// The Atlas runtime (shard 0's for sharded domains), or nullptr when
+  /// the plan needs no rollback machinery (non-blocking applications).
+  atlas::AtlasRuntime* runtime() {
+    return runtimes_.empty() ? nullptr : runtimes_[0].get();
+  }
+  atlas::AtlasRuntime* runtime(int shard) {
+    return runtimes_.empty() ? nullptr : runtimes_[shard].get();
+  }
 
   /// The plan chosen for this domain (inspect plan().is_tsp etc.).
   const PersistencePlan& plan() const { return plan_; }
 
-  /// True if this open performed crash recovery.
+  /// True if this open performed crash recovery on any shard.
   bool recovered() const { return recovered_; }
+  /// Shard-summed recovery statistics.
   const atlas::FullRecoveryResult& recovery() const { return recovery_; }
+  /// Per-shard recovery results (index-aligned with shard numbers).
+  const std::vector<atlas::FullRecoveryResult>& shard_recoveries() const {
+    return shard_recoveries_;
+  }
 
   /// Commit point: performs the plan's runtime durability action.
-  /// A no-op for TSP plans; msync(MS_SYNC) for kSyncMsync plans (cache
-  /// flushing plans pay per log entry instead, inside the runtime).
+  /// A no-op for TSP plans; msync(MS_SYNC) on every shard for
+  /// kSyncMsync plans (cache flushing plans pay per log entry instead,
+  /// inside the runtime).
   Status Commit();
 
-  /// Marks an orderly shutdown.
+  /// Marks an orderly shutdown on every shard.
   void CloseClean();
 
  private:
   PersistenceDomain() = default;
 
   PersistencePlan plan_;
-  std::unique_ptr<pheap::PersistentHeap> heap_;
-  std::unique_ptr<atlas::AtlasRuntime> runtime_;
+  std::vector<std::unique_ptr<pheap::PersistentHeap>> heaps_;
+  std::vector<std::unique_ptr<atlas::AtlasRuntime>> runtimes_;
   const pheap::TypeRegistry* registry_ = nullptr;
   bool recovered_ = false;
   atlas::FullRecoveryResult recovery_;
+  std::vector<atlas::FullRecoveryResult> shard_recoveries_;
 };
 
 }  // namespace tsp::domain

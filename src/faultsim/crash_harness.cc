@@ -141,7 +141,10 @@ CrashCycleReport RunCrashCycles(const CrashCycleOptions& options) {
     (*session)->CloseClean();
     session->reset();
     if (options.reset_between_cycles) {
-      unlink(options.session.path.c_str());
+      for (const std::string& path :
+           workload::MapSession::ShardPaths(options.session)) {
+        unlink(path.c_str());
+      }
     }
   }
 

@@ -47,7 +47,9 @@ struct CrashCycleOptions {
   /// every store outside the logged-store machinery aborts the worker
   /// (which the harness then reports as a premature exit instead of the
   /// expected SIGKILL). Also armed when TSP_SANITIZE_PERSIST is set in
-  /// the environment.
+  /// the environment. TSPSan guards one region per process, so with
+  /// session.shards > 1 only shard 0 is armed; the other shards run
+  /// unchecked (their stores still hit the same logged-store paths).
   bool enable_tspsan = false;
   /// Print one line per cycle.
   bool verbose = false;

@@ -1,0 +1,48 @@
+#include "maps/sharded_map.h"
+
+#include <cassert>
+
+namespace tsp::maps {
+
+ShardedMap::ShardedMap(std::vector<std::unique_ptr<Map>> shards)
+    : shards_(std::move(shards)) {
+  assert(!shards_.empty());
+  name_ = std::string("sharded(") + shards_[0]->name() + " x" +
+          std::to_string(shards_.size()) + ")";
+}
+
+std::size_t ShardedMap::ShardOf(std::uint64_t key, std::size_t shard_count) {
+  // splitmix64 finalizer; full-avalanche so contiguous workload keys
+  // spread across shards.
+  std::uint64_t h = key + 0x9E3779B97F4A7C15ULL;
+  h = (h ^ (h >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  h = (h ^ (h >> 27)) * 0x94D049BB133111EBULL;
+  h ^= h >> 31;
+  return static_cast<std::size_t>(h % shard_count);
+}
+
+void ShardedMap::Put(std::uint64_t key, std::uint64_t value) {
+  Route(key).Put(key, value);
+}
+
+std::optional<std::uint64_t> ShardedMap::Get(std::uint64_t key) const {
+  return Route(key).Get(key);
+}
+
+std::uint64_t ShardedMap::IncrementBy(std::uint64_t key,
+                                      std::uint64_t delta) {
+  return Route(key).IncrementBy(key, delta);
+}
+
+bool ShardedMap::Remove(std::uint64_t key) { return Route(key).Remove(key); }
+
+void ShardedMap::ForEach(
+    const std::function<void(std::uint64_t, std::uint64_t)>& fn) const {
+  for (const auto& shard : shards_) shard->ForEach(fn);
+}
+
+void ShardedMap::OnThreadExit() {
+  for (const auto& shard : shards_) shard->OnThreadExit();
+}
+
+}  // namespace tsp::maps

@@ -1,0 +1,90 @@
+#include "pheap/address_slots.h"
+
+#include <string>
+
+namespace tsp::pheap {
+namespace {
+
+constexpr std::uint32_t kQuarantineBit = 0x80000000u;
+
+}  // namespace
+
+AddressSlotAllocator& AddressSlotAllocator::Instance() {
+  static AddressSlotAllocator instance;
+  return instance;
+}
+
+StatusOr<std::uint32_t> AddressSlotAllocator::Acquire(std::size_t size) {
+  const std::uint32_t need = SlotsFor(size);
+  if (need == 0 || need > kSlotCount) {
+    return Status::InvalidArgument("region size does not fit the slot space");
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::uint32_t candidate = 0;
+  while (candidate + need <= kSlotCount) {
+    // The first span at or beyond the candidate bounds the free run;
+    // any span beginning before candidate may still overlap it.
+    bool clear = true;
+    for (const auto& [first, length] : spans_) {
+      const std::uint32_t span_len = length & ~kQuarantineBit;
+      if (first < candidate + need && candidate < first + span_len) {
+        candidate = first + span_len;
+        clear = false;
+        break;
+      }
+    }
+    if (clear) {
+      spans_[candidate] = need;
+      return candidate;
+    }
+  }
+  return Status::ResourceExhausted(
+      "no free address slot span of " + std::to_string(need) +
+      " slots; too many live regions in this process");
+}
+
+Status AddressSlotAllocator::AcquireSpecific(std::uint32_t slot,
+                                             std::size_t size) {
+  const std::uint32_t need = SlotsFor(size);
+  if (slot >= kSlotCount || need == 0 || slot + need > kSlotCount) {
+    return Status::InvalidArgument("slot span out of range");
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [first, length] : spans_) {
+    const std::uint32_t span_len = length & ~kQuarantineBit;
+    if (first < slot + need && slot < first + span_len) {
+      return Status::FailedPrecondition(
+          "address slot " + std::to_string(slot) + " (span " +
+          std::to_string(need) + ") overlaps a region already mapped in "
+          "this process at slot " + std::to_string(first) +
+          "; close it first (no silent clobber)");
+    }
+  }
+  spans_[slot] = need;
+  return Status::OK();
+}
+
+void AddressSlotAllocator::Release(std::uint32_t slot) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = spans_.find(slot);
+  if (it != spans_.end() && (it->second & kQuarantineBit) == 0) {
+    spans_.erase(it);
+  }
+}
+
+void AddressSlotAllocator::Quarantine(std::uint32_t slot, std::size_t size) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  spans_[slot] = SlotsFor(size) | kQuarantineBit;
+}
+
+std::uint32_t AddressSlotAllocator::held_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::uint32_t held = 0;
+  for (const auto& [first, length] : spans_) {
+    (void)first;
+    if ((length & kQuarantineBit) == 0) ++held;
+  }
+  return held;
+}
+
+}  // namespace tsp::pheap

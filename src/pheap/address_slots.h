@@ -1,0 +1,98 @@
+// Copyright 2026 The TSP Authors.
+// AddressSlotAllocator: process-wide bookkeeping of the fixed virtual
+// address ranges persistent regions map at.
+//
+// The paper's pointer-stability argument (§2: "today we can find empty
+// virtual address ranges where a file can be reliably mapped to the
+// same virtual address on every invocation") generalizes from one
+// region to many: carve a normally-empty part of the x86-64 user
+// address space into fixed-size slots and hand each region its own.
+// Slot 0 is the historical kDefaultBaseAddress, so single-region
+// programs keep their layout. A region larger than one slot takes a
+// span of consecutive slots.
+//
+// The allocator only knows about regions opened through it in *this*
+// process; collisions with foreign mappings (the program image, other
+// libraries) surface as mmap failures, which MappedRegion turns into
+// diagnostics naming the conflicting mapping (see backend.h) and, for
+// auto-placed regions, a retry at the next free slot.
+
+#ifndef TSP_PHEAP_ADDRESS_SLOTS_H_
+#define TSP_PHEAP_ADDRESS_SLOTS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <mutex>
+
+#include "common/status.h"
+
+namespace tsp::pheap {
+
+class AddressSlotAllocator {
+ public:
+  /// First byte of the slot space (== slot 0 == kDefaultBaseAddress).
+  static constexpr std::uintptr_t kSlotBase = 0x200000000000ULL;
+  /// Bytes per slot: 4 GiB, comfortably above the default region size
+  /// while keeping the 64-slot space within an empty 256 GiB window
+  /// (tests that pick manual addresses start at 0x210000000000).
+  static constexpr std::uintptr_t kSlotStride = 0x100000000ULL;
+  static constexpr std::uint32_t kSlotCount = 64;
+  /// Sentinel recorded in RegionHeader::address_slot for regions mapped
+  /// at a caller-chosen address outside the slot space.
+  static constexpr std::uint32_t kNoSlot = 0xFFFFFFFFu;
+
+  static AddressSlotAllocator& Instance();
+
+  /// Reserves the lowest free span of consecutive slots covering `size`
+  /// bytes; returns the first slot index.
+  StatusOr<std::uint32_t> Acquire(std::size_t size);
+
+  /// Reserves exactly the span starting at `slot` (used when reopening
+  /// a region whose header records its slot). Fails with
+  /// kFailedPrecondition when any slot of the span is already held, so
+  /// two live regions can never silently clobber each other.
+  Status AcquireSpecific(std::uint32_t slot, std::size_t size);
+
+  /// Releases a span previously acquired (first slot index). Releasing
+  /// an unheld slot is a no-op.
+  void Release(std::uint32_t slot);
+
+  /// Marks a span unusable for the rest of the process (a foreign
+  /// mapping occupies it); Acquire skips it from now on.
+  void Quarantine(std::uint32_t slot, std::size_t size);
+
+  /// Virtual address of a slot index.
+  static constexpr std::uintptr_t AddressOf(std::uint32_t slot) {
+    return kSlotBase + static_cast<std::uintptr_t>(slot) * kSlotStride;
+  }
+
+  /// Inverse of AddressOf: the slot whose base is exactly `addr`, or
+  /// kNoSlot when `addr` is not a slot boundary in range.
+  static constexpr std::uint32_t SlotOf(std::uintptr_t addr) {
+    if (addr < kSlotBase || (addr - kSlotBase) % kSlotStride != 0) {
+      return kNoSlot;
+    }
+    const std::uintptr_t index = (addr - kSlotBase) / kSlotStride;
+    return index < kSlotCount ? static_cast<std::uint32_t>(index) : kNoSlot;
+  }
+
+  static constexpr std::uint32_t SlotsFor(std::size_t size) {
+    return static_cast<std::uint32_t>((size + kSlotStride - 1) / kSlotStride);
+  }
+
+  /// Held slots right now (test introspection).
+  std::uint32_t held_count() const;
+
+ private:
+  AddressSlotAllocator() = default;
+
+  mutable std::mutex mutex_;
+  /// first slot -> span length; quarantined spans use length with the
+  /// high bit set so Release cannot free them.
+  std::map<std::uint32_t, std::uint32_t> spans_;
+};
+
+}  // namespace tsp::pheap
+
+#endif  // TSP_PHEAP_ADDRESS_SLOTS_H_

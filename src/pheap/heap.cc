@@ -1,5 +1,7 @@
 #include "pheap/heap.h"
 
+#include <utility>
+
 namespace tsp::pheap {
 
 StatusOr<std::unique_ptr<PersistentHeap>> PersistentHeap::Create(
@@ -11,17 +13,17 @@ StatusOr<std::unique_ptr<PersistentHeap>> PersistentHeap::Create(
 }
 
 StatusOr<std::unique_ptr<PersistentHeap>> PersistentHeap::Open(
-    const std::string& path) {
+    const std::string& path, std::shared_ptr<RegionBackend> backend) {
   TSP_ASSIGN_OR_RETURN(std::unique_ptr<MappedRegion> region,
-                       MappedRegion::Open(path));
+                       MappedRegion::Open(path, std::move(backend)));
   return std::unique_ptr<PersistentHeap>(
       new PersistentHeap(std::move(region)));
 }
 
 StatusOr<std::unique_ptr<PersistentHeap>> PersistentHeap::OpenReadOnly(
-    const std::string& path) {
+    const std::string& path, std::shared_ptr<RegionBackend> backend) {
   TSP_ASSIGN_OR_RETURN(std::unique_ptr<MappedRegion> region,
-                       MappedRegion::OpenReadOnly(path));
+                       MappedRegion::OpenReadOnly(path, std::move(backend)));
   return std::unique_ptr<PersistentHeap>(
       new PersistentHeap(std::move(region)));
 }

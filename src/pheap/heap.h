@@ -47,13 +47,15 @@ class PersistentHeap {
   static StatusOr<std::unique_ptr<PersistentHeap>> Create(
       const std::string& path, const RegionOptions& options = {});
   static StatusOr<std::unique_ptr<PersistentHeap>> Open(
-      const std::string& path);
+      const std::string& path,
+      std::shared_ptr<RegionBackend> backend = nullptr);
 
   /// Read-only attach for diagnostics (see MappedRegion::OpenReadOnly).
   /// Allocation/mutation through such a heap is undefined; use it only
   /// with const inspection APIs (CheckHeap, root traversal).
   static StatusOr<std::unique_ptr<PersistentHeap>> OpenReadOnly(
-      const std::string& path);
+      const std::string& path,
+      std::shared_ptr<RegionBackend> backend = nullptr);
   static StatusOr<std::unique_ptr<PersistentHeap>> OpenOrCreate(
       const std::string& path, const RegionOptions& options = {});
 

@@ -27,7 +27,9 @@ namespace tsp::pheap {
 
 /// Identifies a TSP persistent heap file.
 inline constexpr std::uint64_t kRegionMagic = 0x3150414548505354ULL;  // "TSPHEAP1"
-inline constexpr std::uint32_t kLayoutVersion = 1;
+/// Version 2: RegionHeader::address_slot (the reserved word after
+/// clean_shutdown) records the AddressSlotAllocator slot.
+inline constexpr std::uint32_t kLayoutVersion = 2;
 
 /// Smallest unit of arena accounting; block sizes and alignments are
 /// multiples of this.
@@ -75,7 +77,12 @@ struct RegionHeader {
   std::atomic<std::uint64_t> generation;
   /// 1 iff the previous session called CloseClean. Cleared on open.
   std::atomic<std::uint32_t> clean_shutdown;
-  std::uint32_t reserved0;
+  /// AddressSlotAllocator slot this region was placed in, or
+  /// AddressSlotAllocator::kNoSlot (0xFFFFFFFF) for caller-chosen
+  /// addresses. Open revalidates slot against base_address so a header
+  /// edited (or mixed up) on disk can never silently clobber another
+  /// region's range.
+  std::uint32_t address_slot;
 
   /// Offset of the application root object (0 = unset). The root is the
   /// entry point from which all live persistent data must be reachable

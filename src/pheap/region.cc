@@ -1,8 +1,5 @@
 #include "pheap/region.h"
 
-#include <fcntl.h>
-#include <sys/mman.h>
-#include <sys/stat.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -19,77 +16,139 @@ std::size_t RoundUpToPage(std::size_t n) {
   return (n + page - 1) & ~(page - 1);
 }
 
-Status ErrnoStatus(const std::string& what) {
-  return Status::IoError(what + ": " + std::strerror(errno));
+std::shared_ptr<RegionBackend> Resolve(std::shared_ptr<RegionBackend> b) {
+  return b != nullptr ? std::move(b) : DefaultBackend();
 }
 
-StatusOr<void*> MapFileAt(int fd, std::size_t size, std::uintptr_t addr) {
-  void* want = reinterpret_cast<void*>(addr);
-#ifdef MAP_FIXED_NOREPLACE
-  void* got = mmap(want, size, PROT_READ | PROT_WRITE,
-                   MAP_SHARED | MAP_FIXED_NOREPLACE, fd, 0);
-  if (got == MAP_FAILED) {
-    return Status::FailedPrecondition(
-        "cannot map region at its fixed address " + std::to_string(addr) +
-        ": " + std::strerror(errno));
+/// Peeked header fields, copied out of the backing store before any
+/// fixed-address mapping exists.
+struct PeekedHeader {
+  std::uint64_t magic;
+  std::uint32_t version;
+  std::uint32_t address_slot;
+  std::uint64_t base_address;
+  std::uint64_t region_size;
+  std::uint64_t store_size;
+};
+
+Status PeekHeader(RegionBackend* backend, const std::string& path,
+                  PeekedHeader* out) {
+  alignas(alignof(RegionHeader)) unsigned char buffer[kHeaderSize];
+  std::uint64_t store_size = 0;
+  TSP_RETURN_IF_ERROR(
+      backend->PeekHeader(path, buffer, sizeof(buffer), &store_size));
+  if (store_size < kHeaderSize) {
+    return Status::Corruption("file too small to be a TSP region: " + path);
   }
-#else
-  void* got = mmap(want, size, PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
-  if (got == MAP_FAILED) return ErrnoStatus("mmap");
-#endif
-  if (got != want) {
-    munmap(got, size);
+  const auto* header = reinterpret_cast<const RegionHeader*>(buffer);
+  out->magic = header->magic;
+  out->version = header->version;
+  out->address_slot = header->address_slot;
+  out->base_address = header->base_address;
+  out->region_size = header->region_size;
+  out->store_size = store_size;
+  return Status::OK();
+}
+
+/// Validates the recorded slot against the recorded base address and
+/// reserves it for the lifetime of the mapping. Returns whether the
+/// caller owns a slot to release.
+StatusOr<bool> ReserveRecordedSlot(const PeekedHeader& peeked,
+                                   const std::string& path) {
+  if (peeked.address_slot == AddressSlotAllocator::kNoSlot) return false;
+  if (AddressSlotAllocator::AddressOf(peeked.address_slot) !=
+      peeked.base_address) {
     return Status::FailedPrecondition(
-        "kernel mapped the region at a different address; the fixed range "
-        "is occupied");
+        "region header of " + path + " records address slot " +
+        std::to_string(peeked.address_slot) +
+        " but a base address that is not that slot's; refusing to map "
+        "(no silent clobber)");
   }
-  return got;
+  TSP_RETURN_IF_ERROR(AddressSlotAllocator::Instance().AcquireSpecific(
+      peeked.address_slot, peeked.region_size));
+  return true;
 }
 
 }  // namespace
 
 MappedRegion::~MappedRegion() {
   if (base_ != nullptr) {
-    munmap(base_, size_);
+    backend_->Unmap(base_, size_);
+  }
+  if (owns_slot_) {
+    AddressSlotAllocator::Instance().Release(slot_);
   }
 }
 
 StatusOr<std::unique_ptr<MappedRegion>> MappedRegion::Create(
-    const std::string& path, const RegionOptions& options) {
+    const std::string& user_path, const RegionOptions& options) {
+  std::shared_ptr<RegionBackend> backend = Resolve(options.backend);
+  const std::string path = backend->ResolvePath(user_path);
   const std::size_t size = RoundUpToPage(options.size);
-  const std::uintptr_t base_address =
-      options.base_address != 0 ? options.base_address : kDefaultBaseAddress;
   const std::size_t runtime_size = RoundUpToPage(options.runtime_area_size);
   if (size < kHeaderSize + runtime_size + (1u << 20)) {
     return Status::InvalidArgument(
         "region size too small for header + runtime area + a usable arena");
   }
-  if (base_address % kGranule != 0) {
-    return Status::InvalidArgument("base address must be 16-byte aligned");
-  }
 
-  const int fd = open(path.c_str(), O_RDWR | O_CREAT | O_EXCL, 0644);
-  if (fd < 0) {
-    if (errno == EEXIST) {
-      return Status::AlreadyExists("region file exists: " + path);
+  AddressSlotAllocator& slots = AddressSlotAllocator::Instance();
+  std::uintptr_t base_address = 0;
+  std::uint32_t slot = AddressSlotAllocator::kNoSlot;
+  bool owns_slot = false;
+  void* mapped_base = nullptr;
+
+  if (options.base_address != 0) {
+    // Caller-fixed placement. When the address is exactly a slot
+    // boundary, still reserve the slot so auto-placed regions cannot
+    // land on it.
+    base_address = options.base_address;
+    if (base_address % kGranule != 0) {
+      return Status::InvalidArgument("base address must be 16-byte aligned");
     }
-    return ErrnoStatus("open " + path);
-  }
-  if (ftruncate(fd, static_cast<off_t>(size)) != 0) {
-    const Status s = ErrnoStatus("ftruncate " + path);
-    close(fd);
-    unlink(path.c_str());
-    return s;
+    slot = AddressSlotAllocator::SlotOf(base_address);
+    if (slot != AddressSlotAllocator::kNoSlot) {
+      TSP_RETURN_IF_ERROR(slots.AcquireSpecific(slot, size));
+      owns_slot = true;
+    }
+    auto mapped = backend->CreateAndMap(path, size, base_address);
+    if (!mapped.ok()) {
+      if (owns_slot) slots.Release(slot);
+      return mapped.status();
+    }
+    mapped_base = *mapped;
+  } else {
+    // Auto placement: walk free slots, quarantining any whose range a
+    // foreign mapping occupies.
+    Status last_failure = Status::OK();
+    for (int attempt = 0; attempt <= options.slot_retries; ++attempt) {
+      auto acquired = slots.Acquire(size);
+      if (!acquired.ok()) {
+        return last_failure.ok() ? acquired.status() : last_failure;
+      }
+      slot = *acquired;
+      base_address = AddressSlotAllocator::AddressOf(slot);
+      auto mapped = backend->CreateAndMap(path, size, base_address);
+      if (mapped.ok()) {
+        owns_slot = true;
+        mapped_base = *mapped;
+        break;
+      }
+      slots.Release(slot);
+      if (mapped.status().code() != StatusCode::kFailedPrecondition) {
+        return mapped.status();  // not an address conflict: no retry
+      }
+      // Something foreign occupies this slot's range; never offer it
+      // again in this process, then try the next one.
+      slots.Quarantine(slot, size);
+      last_failure = mapped.status();
+      slot = AddressSlotAllocator::kNoSlot;
+    }
+    if (mapped_base == nullptr) {
+      return last_failure;
+    }
   }
 
-  auto mapped = MapFileAt(fd, size, base_address);
-  close(fd);  // The mapping keeps the file alive.
-  if (!mapped.ok()) {
-    unlink(path.c_str());
-    return mapped.status();
-  }
-
-  auto* header = new (*mapped) RegionHeader();
+  auto* header = new (mapped_base) RegionHeader();
   header->magic = kRegionMagic;
   header->version = kLayoutVersion;
   header->header_size = kHeaderSize;
@@ -101,6 +160,7 @@ StatusOr<std::unique_ptr<MappedRegion>> MappedRegion::Create(
   header->arena_size = size - header->arena_offset;
   header->generation.store(1, std::memory_order_relaxed);
   header->clean_shutdown.store(0, std::memory_order_relaxed);
+  header->address_slot = slot;
   header->root_offset.store(0, std::memory_order_relaxed);
   header->global_sequence.store(1, std::memory_order_relaxed);
   header->bump_offset.store(header->arena_offset, std::memory_order_relaxed);
@@ -111,64 +171,47 @@ StatusOr<std::unique_ptr<MappedRegion>> MappedRegion::Create(
   header->total_frees.store(0, std::memory_order_relaxed);
 
   auto region = std::unique_ptr<MappedRegion>(
-      new MappedRegion(path, *mapped, size));
+      new MappedRegion(path, mapped_base, size, std::move(backend)));
+  region->slot_ = slot;
+  region->owns_slot_ = owns_slot;
   region->opened_after_crash_ = false;
   return region;
 }
 
 StatusOr<std::unique_ptr<MappedRegion>> MappedRegion::Open(
-    const std::string& path) {
-  const int fd = open(path.c_str(), O_RDWR);
-  if (fd < 0) {
-    if (errno == ENOENT) return Status::NotFound("no region file: " + path);
-    return ErrnoStatus("open " + path);
-  }
-  struct stat st;
-  if (fstat(fd, &st) != 0) {
-    const Status s = ErrnoStatus("fstat " + path);
-    close(fd);
-    return s;
-  }
-  if (static_cast<std::size_t>(st.st_size) < kHeaderSize) {
-    close(fd);
-    return Status::Corruption("file too small to be a TSP region: " + path);
-  }
+    const std::string& user_path, std::shared_ptr<RegionBackend> backend_in) {
+  std::shared_ptr<RegionBackend> backend = Resolve(std::move(backend_in));
+  const std::string path = backend->ResolvePath(user_path);
 
-  // Peek at the header through a temporary private mapping to learn the
-  // required base address and size.
-  void* peek = mmap(nullptr, kHeaderSize, PROT_READ, MAP_PRIVATE, fd, 0);
-  if (peek == MAP_FAILED) {
-    const Status s = ErrnoStatus("mmap header " + path);
-    close(fd);
-    return s;
-  }
-  const auto* peeked = static_cast<const RegionHeader*>(peek);
-  const std::uint64_t magic = peeked->magic;
-  const std::uint32_t version = peeked->version;
-  const std::uint64_t base_address = peeked->base_address;
-  const std::uint64_t region_size = peeked->region_size;
-  munmap(peek, kHeaderSize);
-
-  if (magic != kRegionMagic) {
-    close(fd);
+  PeekedHeader peeked;
+  TSP_RETURN_IF_ERROR(PeekHeader(backend.get(), path, &peeked));
+  if (peeked.magic != kRegionMagic) {
     return Status::Corruption("bad magic; not a TSP region: " + path);
   }
-  if (version != kLayoutVersion) {
-    close(fd);
+  if (peeked.version != kLayoutVersion) {
     return Status::Corruption("unsupported region layout version " +
-                              std::to_string(version));
+                              std::to_string(peeked.version));
   }
-  if (region_size != static_cast<std::uint64_t>(st.st_size)) {
-    close(fd);
+  if (peeked.region_size != peeked.store_size) {
     return Status::Corruption("region size mismatch with file size");
   }
 
-  auto mapped = MapFileAt(fd, region_size, base_address);
-  close(fd);
-  if (!mapped.ok()) return mapped.status();
+  TSP_ASSIGN_OR_RETURN(const bool owns_slot,
+                       ReserveRecordedSlot(peeked, path));
+  auto mapped = backend->MapExisting(path, peeked.region_size,
+                                     peeked.base_address,
+                                     /*read_only=*/false);
+  if (!mapped.ok()) {
+    if (owns_slot) {
+      AddressSlotAllocator::Instance().Release(peeked.address_slot);
+    }
+    return mapped.status();
+  }
 
-  auto region = std::unique_ptr<MappedRegion>(
-      new MappedRegion(path, *mapped, region_size));
+  auto region = std::unique_ptr<MappedRegion>(new MappedRegion(
+      path, *mapped, peeked.region_size, std::move(backend)));
+  region->slot_ = peeked.address_slot;
+  region->owns_slot_ = owns_slot;
   RegionHeader* header = region->header();
   region->opened_after_crash_ =
       header->clean_shutdown.load(std::memory_order_relaxed) == 0;
@@ -179,7 +222,7 @@ StatusOr<std::unique_ptr<MappedRegion>> MappedRegion::Open(
 
 StatusOr<std::unique_ptr<MappedRegion>> MappedRegion::OpenOrCreate(
     const std::string& path, const RegionOptions& options) {
-  auto opened = Open(path);
+  auto opened = Open(path, options.backend);
   if (opened.ok() || opened.status().code() != StatusCode::kNotFound) {
     return opened;
   }
@@ -187,59 +230,29 @@ StatusOr<std::unique_ptr<MappedRegion>> MappedRegion::OpenOrCreate(
 }
 
 StatusOr<std::unique_ptr<MappedRegion>> MappedRegion::OpenReadOnly(
-    const std::string& path) {
-  const int fd = open(path.c_str(), O_RDONLY);
-  if (fd < 0) {
-    if (errno == ENOENT) return Status::NotFound("no region file: " + path);
-    return ErrnoStatus("open " + path);
-  }
-  struct stat st;
-  if (fstat(fd, &st) != 0) {
-    const Status s = ErrnoStatus("fstat " + path);
-    close(fd);
-    return s;
-  }
-  if (static_cast<std::size_t>(st.st_size) < kHeaderSize) {
-    close(fd);
-    return Status::Corruption("file too small to be a TSP region: " + path);
-  }
-  // Map at an arbitrary address: read-only inspection follows offsets
-  // relative to the recorded base, but tools that only read header and
-  // log metadata work regardless; pointer-chasing inspection (check)
-  // needs the fixed address, so try it first and fall back.
-  void* peek = mmap(nullptr, kHeaderSize, PROT_READ, MAP_PRIVATE, fd, 0);
-  if (peek == MAP_FAILED) {
-    const Status s = ErrnoStatus("mmap header " + path);
-    close(fd);
-    return s;
-  }
-  const auto* peeked = static_cast<const RegionHeader*>(peek);
-  const std::uint64_t magic = peeked->magic;
-  const std::uint64_t base_address = peeked->base_address;
-  const std::uint64_t region_size = peeked->region_size;
-  munmap(peek, kHeaderSize);
-  if (magic != kRegionMagic ||
-      region_size != static_cast<std::uint64_t>(st.st_size)) {
-    close(fd);
+    const std::string& user_path, std::shared_ptr<RegionBackend> backend_in) {
+  std::shared_ptr<RegionBackend> backend = Resolve(std::move(backend_in));
+  const std::string path = backend->ResolvePath(user_path);
+
+  PeekedHeader peeked;
+  TSP_RETURN_IF_ERROR(PeekHeader(backend.get(), path, &peeked));
+  if (peeked.magic != kRegionMagic ||
+      peeked.region_size != peeked.store_size) {
     return Status::Corruption("not a TSP region (or truncated): " + path);
   }
 
-  void* want = reinterpret_cast<void*>(base_address);
-#ifdef MAP_FIXED_NOREPLACE
-  void* got = mmap(want, region_size, PROT_READ,
-                   MAP_PRIVATE | MAP_FIXED_NOREPLACE, fd, 0);
-#else
-  void* got = mmap(want, region_size, PROT_READ, MAP_PRIVATE, fd, 0);
-#endif
-  if (got == MAP_FAILED || got != want) {
-    if (got != MAP_FAILED) munmap(got, region_size);
-    close(fd);
+  // Diagnostics never reserve the slot: the mapping is private and
+  // read-only, and a live writer in another process stays untouched.
+  auto mapped = backend->MapExisting(path, peeked.region_size,
+                                     peeked.base_address, /*read_only=*/true);
+  if (!mapped.ok()) {
     return Status::FailedPrecondition(
-        "cannot map read-only region at its fixed address");
+        "cannot map read-only region at its fixed address: " +
+        mapped.status().message());
   }
-  close(fd);
-  auto region = std::unique_ptr<MappedRegion>(
-      new MappedRegion(path, got, region_size));
+  auto region = std::unique_ptr<MappedRegion>(new MappedRegion(
+      path, *mapped, peeked.region_size, std::move(backend)));
+  region->slot_ = peeked.address_slot;
   region->read_only_ = true;
   region->opened_after_crash_ =
       region->header()->clean_shutdown.load(std::memory_order_relaxed) == 0;
@@ -248,18 +261,18 @@ StatusOr<std::unique_ptr<MappedRegion>> MappedRegion::OpenReadOnly(
 
 Status MappedRegion::SyncToBacking() {
   TSP_CHECK(!read_only_) << "SyncToBacking on a read-only region";
-  if (msync(base_, size_, MS_SYNC) != 0) return ErrnoStatus("msync");
-  return Status::OK();
+  return backend_->Sync(base_, size_);
 }
 
 void MappedRegion::MarkCleanShutdown() {
   TSP_CHECK(!read_only_) << "MarkCleanShutdown on a read-only region";
   header()->clean_shutdown.store(1, std::memory_order_release);
   // A clean shutdown is an explicit durability point even on
-  // conventional hardware: push everything to the backing file.
-  if (msync(base_, size_, MS_SYNC) != 0) {
-    TSP_LOG(WARNING) << "msync on clean shutdown failed: "
-                     << std::strerror(errno);
+  // conventional hardware: push everything to the backing store.
+  const Status synced = backend_->Sync(base_, size_);
+  if (!synced.ok()) {
+    TSP_LOG(WARNING) << "sync on clean shutdown failed: "
+                     << synced.ToString();
   }
 }
 

@@ -1,10 +1,16 @@
 // Copyright 2026 The TSP Authors.
-// MappedRegion: a file mapped MAP_SHARED at a fixed virtual address.
+// MappedRegion: a persistent region mapped at a fixed virtual address.
 //
 // This is the TSP substrate for process crashes: per POSIX (paper
 // Appendix A), every store to a MAP_SHARED mapping issued before a crash
 // remains visible to subsequent readers of the file, with no flushing or
 // msync during failure-free operation.
+//
+// Where the bytes live is a RegionBackend (backend.h); where the bytes
+// are mapped is an AddressSlotAllocator slot (address_slots.h) unless
+// the caller fixes the address. MappedRegion itself owns the format:
+// header validation, generation/clean-shutdown bookkeeping, and slot
+// revalidation on reopen.
 
 #ifndef TSP_PHEAP_REGION_H_
 #define TSP_PHEAP_REGION_H_
@@ -15,6 +21,8 @@
 #include <string>
 
 #include "common/status.h"
+#include "pheap/address_slots.h"
+#include "pheap/backend.h"
 #include "pheap/layout.h"
 
 namespace tsp::pheap {
@@ -23,18 +31,27 @@ namespace tsp::pheap {
 struct RegionOptions {
   /// Total file/mapping size in bytes. Rounded up to the page size.
   std::size_t size = 256 * 1024 * 1024;
-  /// Virtual address to map at. 0 picks the library default. Every
-  /// subsequent Open maps at the address recorded in the header.
+  /// Virtual address to map at. 0 takes the next free slot from the
+  /// process-wide AddressSlotAllocator (slot 0 == the historical
+  /// default address). Every subsequent Open maps at the address
+  /// recorded in the header.
   std::uintptr_t base_address = 0;
   /// Bytes reserved between the header and the arena for the resilience
   /// runtime (undo logs, lock words).
   std::size_t runtime_area_size = 16 * 1024 * 1024;
+  /// Storage mechanics; null uses the process-wide PosixFileBackend.
+  std::shared_ptr<RegionBackend> backend;
+  /// When auto-placing (base_address == 0) and a slot's range turns out
+  /// to be occupied by a foreign mapping, quarantine it and try up to
+  /// this many further slots before giving up.
+  int slot_retries = 8;
 };
 
-/// Default fixed mapping address. Chosen in a normally-empty part of the
-/// x86-64 user address space, away from the program heap, stacks, and
-/// the mmap area.
-inline constexpr std::uintptr_t kDefaultBaseAddress = 0x200000000000ULL;
+/// Default fixed mapping address (== AddressSlotAllocator slot 0).
+/// Chosen in a normally-empty part of the x86-64 user address space,
+/// away from the program heap, stacks, and the mmap area.
+inline constexpr std::uintptr_t kDefaultBaseAddress =
+    AddressSlotAllocator::kSlotBase;
 
 /// A mapped persistent region. Move-only; unmaps on destruction
 /// *without* marking a clean shutdown (destruction is
@@ -53,16 +70,21 @@ class MappedRegion {
       const std::string& path, const RegionOptions& options);
 
   /// Opens an existing region file and maps it at its recorded base
-  /// address. Returns kCorruption for files that are not TSP regions and
-  /// kFailedPrecondition if the address range is unavailable.
-  static StatusOr<std::unique_ptr<MappedRegion>> Open(const std::string& path);
+  /// address. Returns kCorruption for files that are not TSP regions
+  /// and kFailedPrecondition if the address range is unavailable or the
+  /// header's recorded slot disagrees with its base address (no silent
+  /// clobber).
+  static StatusOr<std::unique_ptr<MappedRegion>> Open(
+      const std::string& path,
+      std::shared_ptr<RegionBackend> backend = nullptr);
 
   /// Read-only open for diagnostic tooling: maps PROT_READ and performs
   /// no header mutation whatsoever (no generation bump, no
   /// clean-shutdown clearing), so inspection never perturbs recovery
   /// state. Mutating methods are fatal on such regions.
   static StatusOr<std::unique_ptr<MappedRegion>> OpenReadOnly(
-      const std::string& path);
+      const std::string& path,
+      std::shared_ptr<RegionBackend> backend = nullptr);
 
   /// Open if the file exists, Create otherwise.
   static StatusOr<std::unique_ptr<MappedRegion>> OpenOrCreate(
@@ -73,6 +95,13 @@ class MappedRegion {
   std::size_t size() const { return size_; }
   RegionHeader* header() const { return reinterpret_cast<RegionHeader*>(base_); }
   const std::string& path() const { return path_; }
+
+  /// The backend storing this region's bytes.
+  RegionBackend* backend() const { return backend_.get(); }
+
+  /// AddressSlotAllocator slot, or AddressSlotAllocator::kNoSlot for
+  /// caller-fixed addresses outside the slot space.
+  std::uint32_t address_slot() const { return slot_; }
 
   /// True iff the previous session did NOT mark a clean shutdown, i.e.
   /// this open constitutes crash recovery.
@@ -94,9 +123,9 @@ class MappedRegion {
     return p >= base_ && p < static_cast<const char*>(base_) + size_;
   }
 
-  /// Synchronously writes all modified pages to the backing file
-  /// (msync(MS_SYNC)). Not needed for process-crash tolerance; used by
-  /// non-TSP plans that must reach block storage.
+  /// Synchronously writes all modified pages to the backing store
+  /// (msync(MS_SYNC) for files). Not needed for process-crash
+  /// tolerance; used by non-TSP plans that must reach block storage.
   Status SyncToBacking();
 
   /// Marks the clean-shutdown flag (and syncs it). Call before orderly
@@ -106,12 +135,20 @@ class MappedRegion {
   bool read_only() const { return read_only_; }
 
  private:
-  MappedRegion(std::string path, void* mapped_base, std::size_t mapped_size)
-      : path_(std::move(path)), base_(mapped_base), size_(mapped_size) {}
+  MappedRegion(std::string path, void* mapped_base, std::size_t mapped_size,
+               std::shared_ptr<RegionBackend> backend)
+      : path_(std::move(path)),
+        base_(mapped_base),
+        size_(mapped_size),
+        backend_(std::move(backend)) {}
 
   std::string path_;
   void* base_ = nullptr;
   std::size_t size_ = 0;
+  std::shared_ptr<RegionBackend> backend_;
+  std::uint32_t slot_ = AddressSlotAllocator::kNoSlot;
+  /// True when this open acquired slot_ and must release it.
+  bool owns_slot_ = false;
   bool opened_after_crash_ = false;
   bool read_only_ = false;
 };

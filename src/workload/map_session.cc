@@ -1,8 +1,30 @@
 #include "workload/map_session.h"
 
 #include "common/logging.h"
+#include "maps/sharded_map.h"
 
 namespace tsp::workload {
+namespace {
+
+void AccumulateRecovery(const atlas::FullRecoveryResult& shard,
+                        atlas::FullRecoveryResult* total) {
+  total->atlas.performed |= shard.atlas.performed;
+  total->atlas.rings_scanned += shard.atlas.rings_scanned;
+  total->atlas.entries_scanned += shard.atlas.entries_scanned;
+  total->atlas.ocses_seen += shard.atlas.ocses_seen;
+  total->atlas.ocses_incomplete += shard.atlas.ocses_incomplete;
+  total->atlas.ocses_cascaded += shard.atlas.ocses_cascaded;
+  total->atlas.stores_undone += shard.atlas.stores_undone;
+  total->gc.live_objects += shard.gc.live_objects;
+  total->gc.live_bytes += shard.gc.live_bytes;
+  total->gc.free_blocks += shard.gc.free_blocks;
+  total->gc.free_bytes += shard.gc.free_bytes;
+  total->gc.tail_reclaimed_bytes += shard.gc.tail_reclaimed_bytes;
+  total->gc.sliver_bytes += shard.gc.sliver_bytes;
+  total->gc.invalid_pointers += shard.gc.invalid_pointers;
+}
+
+}  // namespace
 
 const char* MapVariantName(MapVariant variant) {
   switch (variant) {
@@ -28,6 +50,17 @@ void MapSession::RegisterAllTypes(pheap::TypeRegistry* registry) {
   lockfree::SkipListMap::RegisterTypes(registry);
 }
 
+std::vector<std::string> MapSession::ShardPaths(const Config& config) {
+  if (config.shards <= 1) return {config.path};
+  std::vector<std::string> paths;
+  paths.reserve(config.shards);
+  paths.push_back(config.path);
+  for (int i = 1; i < config.shards; ++i) {
+    paths.push_back(config.path + ".shard" + std::to_string(i));
+  }
+  return paths;
+}
+
 StatusOr<std::unique_ptr<MapSession>> MapSession::OpenOrCreate(
     const Config& config) {
   auto session = std::unique_ptr<MapSession>(new MapSession(config));
@@ -36,41 +69,97 @@ StatusOr<std::unique_ptr<MapSession>> MapSession::OpenOrCreate(
 }
 
 Status MapSession::Init() {
+  if (config_.shards < 1) {
+    return Status::InvalidArgument("shards must be >= 1");
+  }
+  if (config_.shards > 1 && config_.base_address != 0) {
+    return Status::InvalidArgument(
+        "sharded sessions place every shard in its own address slot; "
+        "leave base_address at 0");
+  }
+
   pheap::RegionOptions region_options;
   region_options.size = config_.heap_size;
   region_options.base_address = config_.base_address;
   region_options.runtime_area_size = config_.runtime_area_size;
-  TSP_ASSIGN_OR_RETURN(
-      heap_, pheap::PersistentHeap::OpenOrCreate(config_.path,
-                                                 region_options));
+  region_options.backend = config_.backend;
 
-  if (heap_->needs_recovery()) {
+  bool any_needs_recovery = false;
+  for (const std::string& path : ShardPaths(config_)) {
+    TSP_ASSIGN_OR_RETURN(
+        std::unique_ptr<pheap::PersistentHeap> heap,
+        pheap::PersistentHeap::OpenOrCreate(path, region_options));
+    any_needs_recovery |= heap->needs_recovery();
+    heaps_.push_back(std::move(heap));
+  }
+
+  if (any_needs_recovery) {
     pheap::TypeRegistry registry;
     RegisterAllTypes(&registry);
-    TSP_ASSIGN_OR_RETURN(recovery_, atlas::RecoverHeap(heap_.get(),
-                                                       registry));
+    std::vector<pheap::PersistentHeap*> raw;
+    raw.reserve(heaps_.size());
+    for (const auto& heap : heaps_) raw.push_back(heap.get());
+    std::vector<atlas::ShardRecovery> recoveries =
+        atlas::RecoverHeapsParallel(raw, registry,
+                                    config_.recovery_threads);
+    for (std::size_t i = 0; i < recoveries.size(); ++i) {
+      if (!recoveries[i].status.ok()) {
+        return Status(recoveries[i].status.code(),
+                      "recovery of shard " + std::to_string(i) +
+                          " failed: " + recoveries[i].status.message());
+      }
+      AccumulateRecovery(recoveries[i].result, &recovery_);
+    }
     recovered_ = true;
   }
 
-  // Locate or create the session root.
-  auto* root = heap_->root<SessionRoot>();
+  if (config_.shards == 1) {
+    TSP_ASSIGN_OR_RETURN(map_, InitShard(0));
+    return Status::OK();
+  }
+  std::vector<std::unique_ptr<maps::Map>> shard_maps;
+  shard_maps.reserve(heaps_.size());
+  for (int i = 0; i < static_cast<int>(heaps_.size()); ++i) {
+    TSP_ASSIGN_OR_RETURN(std::unique_ptr<maps::Map> shard_map,
+                         InitShard(i));
+    shard_maps.push_back(std::move(shard_map));
+  }
+  map_ = std::make_unique<maps::ShardedMap>(std::move(shard_maps));
+  return Status::OK();
+}
+
+StatusOr<std::unique_ptr<maps::Map>> MapSession::InitShard(int shard) {
+  pheap::PersistentHeap* heap = heaps_[shard].get();
+
+  // Locate or create the shard's session root.
+  auto* root = heap->root<SessionRoot>();
   if (root == nullptr) {
-    root = heap_->New<SessionRoot>();
+    root = heap->New<SessionRoot>();
     if (root == nullptr) {
       return Status::ResourceExhausted("heap too small for session root");
     }
     root->variant_tag = static_cast<std::uint32_t>(config_.variant);
-    root->reserved = 0;
+    root->shard_count = static_cast<std::uint32_t>(config_.shards);
     root->map_root = nullptr;
-    heap_->set_root(root);
-  } else if (root->variant_tag !=
-             static_cast<std::uint32_t>(config_.variant)) {
-    return Status::FailedPrecondition(
-        std::string("heap holds a different map variant: ") +
-        MapVariantName(static_cast<MapVariant>(root->variant_tag)));
+    heap->set_root(root);
+  } else {
+    if (root->variant_tag != static_cast<std::uint32_t>(config_.variant)) {
+      return Status::FailedPrecondition(
+          std::string("heap holds a different map variant: ") +
+          MapVariantName(static_cast<MapVariant>(root->variant_tag)));
+    }
+    const std::uint32_t recorded =
+        root->shard_count == 0 ? 1 : root->shard_count;
+    if (recorded != static_cast<std::uint32_t>(config_.shards)) {
+      return Status::FailedPrecondition(
+          "heap was created with " + std::to_string(recorded) +
+          " shard(s) but reopened with " + std::to_string(config_.shards) +
+          "; resharding persistent data is not supported");
+    }
   }
 
   // Attach the Atlas runtime for the logged variants.
+  atlas::AtlasRuntime* runtime = nullptr;
   if (config_.variant == MapVariant::kMutexLogOnly ||
       config_.variant == MapVariant::kMutexLogFlush) {
     const PersistencePolicy policy =
@@ -80,9 +169,10 @@ Status MapSession::Init() {
     atlas::AtlasRuntime::Options runtime_options;
     runtime_options.prune_interval_us = config_.prune_interval_us;
     runtime_options.seq_block_size = config_.seq_block_size;
-    runtime_ = std::make_unique<atlas::AtlasRuntime>(heap_.get(), policy,
-                                                     runtime_options);
-    TSP_RETURN_IF_ERROR(runtime_->Initialize());
+    runtimes_.push_back(std::make_unique<atlas::AtlasRuntime>(
+        heap, policy, runtime_options));
+    runtime = runtimes_.back().get();
+    TSP_RETURN_IF_ERROR(runtime->Initialize());
   }
 
   // Attach the map implementation.
@@ -92,40 +182,42 @@ Status MapSession::Init() {
     case MapVariant::kMutexLogFlush: {
       auto* map_root = static_cast<maps::HashMapRoot*>(root->map_root);
       if (map_root == nullptr) {
-        map_root = maps::MutexHashMap::CreateRoot(heap_.get(),
-                                                  config_.hash_options);
+        map_root =
+            maps::MutexHashMap::CreateRoot(heap, config_.hash_options);
         if (map_root == nullptr) {
           return Status::ResourceExhausted("heap too small for bucket array");
         }
         root->map_root = map_root;
       }
-      map_ = std::make_unique<maps::MutexHashMap>(
-          heap_.get(), map_root, runtime_.get(), config_.hash_options);
-      break;
+      return std::unique_ptr<maps::Map>(std::make_unique<maps::MutexHashMap>(
+          heap, map_root, runtime, config_.hash_options));
     }
     case MapVariant::kLockFreeSkipList: {
       auto* map_root = static_cast<lockfree::SkipListRoot*>(root->map_root);
       if (map_root == nullptr) {
-        map_root = lockfree::SkipListMap::CreateRoot(heap_.get());
+        map_root = lockfree::SkipListMap::CreateRoot(heap);
         if (map_root == nullptr) {
           return Status::ResourceExhausted("heap too small for skip list");
         }
         root->map_root = map_root;
       }
-      skiplist_ = std::make_unique<lockfree::SkipListMap>(heap_.get(),
-                                                          map_root);
-      map_ = std::make_unique<maps::SkipListMapAdapter>(skiplist_.get());
-      break;
+      skiplists_.push_back(
+          std::make_unique<lockfree::SkipListMap>(heap, map_root));
+      return std::unique_ptr<maps::Map>(
+          std::make_unique<maps::SkipListMapAdapter>(
+              skiplists_.back().get()));
     }
   }
-  return Status::OK();
+  return Status::Internal("unreachable map variant");
 }
 
 void MapSession::CloseClean() {
   map_.reset();
-  skiplist_.reset();
-  runtime_.reset();
-  if (heap_ != nullptr) heap_->CloseClean();
+  skiplists_.clear();
+  runtimes_.clear();
+  for (const auto& heap : heaps_) {
+    if (heap != nullptr) heap->CloseClean();
+  }
 }
 
 MapSession::~MapSession() = default;

@@ -6,12 +6,19 @@
 // (Atlas rollback → mark-sweep GC), attaching the requested map variant,
 // and exposing it through the common Map interface. Used by the
 // fault-injection harness, the Table-1 benchmark, tests and examples.
+//
+// With Config::shards > 1 the session opens N shard heaps (each with
+// its own Atlas runtime and undo logs, each in its own address slot),
+// recovers them in parallel, and serves a maps::ShardedMap that routes
+// operations by key hash. The workload and the Eq. (1)/(2) invariant
+// checker work through the Map interface, so they apply unchanged.
 
 #ifndef TSP_WORKLOAD_MAP_SESSION_H_
 #define TSP_WORKLOAD_MAP_SESSION_H_
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "atlas/recovery.h"
 #include "atlas/runtime.h"
@@ -20,6 +27,7 @@
 #include "maps/map_interface.h"
 #include "maps/mutex_hashmap.h"
 #include "maps/skiplist_adapter.h"
+#include "pheap/backend.h"
 #include "pheap/heap.h"
 
 namespace tsp::workload {
@@ -34,14 +42,15 @@ enum class MapVariant {
 
 const char* MapVariantName(MapVariant variant);
 
-/// A live session against one persistent map heap.
+/// A live session against one persistent map heap (or a set of shard
+/// heaps).
 class MapSession {
  public:
   struct Config {
     MapVariant variant = MapVariant::kMutexLogOnly;
     std::string path;
-    std::size_t heap_size = 512 * 1024 * 1024;
-    std::uintptr_t base_address = 0;  // 0 = library default
+    std::size_t heap_size = 512 * 1024 * 1024;  // per shard
+    std::uintptr_t base_address = 0;  // 0 = slot-allocated; shards>1 needs 0
     std::size_t runtime_area_size = 32 * 1024 * 1024;
     maps::MutexHashMap::Options hash_options;
     /// Background log-pruner interval (mutex+Atlas variants).
@@ -49,12 +58,26 @@ class MapSession {
     /// Sequence stamps leased per block from the global counter
     /// (mutex+Atlas variants); see AtlasRuntime::Options.
     std::uint32_t seq_block_size = 64;
+    /// Shard heaps backing the map (1 = classic single heap). Fixed for
+    /// the life of the persistent data: reopening with a different
+    /// count fails (shard 0 records the count in its session root).
+    int shards = 1;
+    /// Worker threads for parallel shard recovery; 0 = min(shards,
+    /// hardware concurrency).
+    int recovery_threads = 0;
+    /// Storage mechanics for every shard; null = posix files.
+    std::shared_ptr<pheap::RegionBackend> backend;
   };
 
-  /// Opens (creating if absent) the heap at config.path, runs recovery
-  /// if the previous session crashed, and attaches the map.
+  /// Opens (creating if absent) the heap(s) at config.path, runs
+  /// recovery if the previous session crashed, and attaches the map.
   static StatusOr<std::unique_ptr<MapSession>> OpenOrCreate(
       const Config& config);
+
+  /// The backing heap paths OpenOrCreate uses (index-aligned with shard
+  /// numbers): path, path.shard1, ... Useful for cleanup and offline
+  /// inspection.
+  static std::vector<std::string> ShardPaths(const Config& config);
 
   ~MapSession();
 
@@ -63,12 +86,20 @@ class MapSession {
 
   maps::Map* map() { return map_.get(); }
   const maps::Map* map() const { return map_.get(); }
-  pheap::PersistentHeap* heap() { return heap_.get(); }
-  atlas::AtlasRuntime* runtime() { return runtime_.get(); }
+  int shard_count() const { return static_cast<int>(heaps_.size()); }
+  pheap::PersistentHeap* heap() { return heaps_[0].get(); }
+  pheap::PersistentHeap* heap(int shard) { return heaps_[shard].get(); }
+  atlas::AtlasRuntime* runtime() {
+    return runtimes_.empty() ? nullptr : runtimes_[0].get();
+  }
+  atlas::AtlasRuntime* runtime(int shard) {
+    return runtimes_.empty() ? nullptr : runtimes_[shard].get();
+  }
   MapVariant variant() const { return config_.variant; }
 
-  /// True if this open performed crash recovery.
+  /// True if this open performed crash recovery (on any shard).
   bool recovered() const { return recovered_; }
+  /// Shard-summed recovery statistics.
   const atlas::RecoveryStats& recovery_stats() const {
     return recovery_.atlas;
   }
@@ -82,22 +113,28 @@ class MapSession {
   void CloseClean();
 
  private:
-  /// Persistent session root: tags the variant and points at the map.
+  /// Persistent session root: tags the variant and shard count, points
+  /// at the map.
   struct SessionRoot {
     static constexpr std::uint32_t kPersistentTypeId = 0x53455353;  // "SESS"
     std::uint32_t variant_tag;
-    std::uint32_t reserved;
+    /// Shard count recorded at creation (all shards agree); 0 in roots
+    /// written before sharding existed is read as 1.
+    std::uint32_t shard_count;
     void* map_root;
   };
 
   explicit MapSession(Config config) : config_(std::move(config)) {}
 
   Status Init();
+  /// Locates/creates shard `i`'s session root, attaches its runtime,
+  /// and returns its map.
+  StatusOr<std::unique_ptr<maps::Map>> InitShard(int shard);
 
   Config config_;
-  std::unique_ptr<pheap::PersistentHeap> heap_;
-  std::unique_ptr<atlas::AtlasRuntime> runtime_;
-  std::unique_ptr<lockfree::SkipListMap> skiplist_;
+  std::vector<std::unique_ptr<pheap::PersistentHeap>> heaps_;
+  std::vector<std::unique_ptr<atlas::AtlasRuntime>> runtimes_;
+  std::vector<std::unique_ptr<lockfree::SkipListMap>> skiplists_;
   std::unique_ptr<maps::Map> map_;
   bool recovered_ = false;
   atlas::FullRecoveryResult recovery_;

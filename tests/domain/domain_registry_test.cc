@@ -1,0 +1,216 @@
+// Copyright 2026 The TSP Authors.
+// DomainRegistry + multi-domain persistence: one process hosting many
+// named domains at once — on distinct address slots and distinct
+// backends (posix file, /dev/shm, anonymous test memory, simnvm
+// shadow) — plus sharded domains with per-shard parallel crash
+// recovery.
+
+#include "domain/domain_registry.h"
+
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "atlas/pmutex.h"
+#include "maps/mutex_hashmap.h"
+#include "pheap/backend.h"
+#include "pheap/test_util.h"
+
+namespace tsp::domain {
+namespace {
+
+using pheap::testing::ScopedRegionFile;
+using pheap::testing::UniqueRegionPath;
+
+struct Counter {
+  static constexpr std::uint32_t kPersistentTypeId = 0x434E5452;  // "CNTR"
+  std::uint64_t value;
+};
+
+pheap::TypeRegistry MakeRegistry() {
+  pheap::TypeRegistry registry;
+  registry.Register<Counter>("Counter", nullptr);
+  return registry;
+}
+
+PersistenceDomain::Options BaseOptions(
+    const std::string& path,
+    std::shared_ptr<pheap::RegionBackend> backend = nullptr) {
+  PersistenceDomain::Options options;
+  options.path = path;
+  options.region.size = 16 * 1024 * 1024;
+  options.region.runtime_area_size = 2 * 1024 * 1024;
+  options.region.backend = std::move(backend);
+  options.requirements.tolerated =
+      FailureSet::Of(FailureClass::kProcessCrash);
+  options.requirements.needs_rollback = true;
+  return options;
+}
+
+// The tentpole acceptance scenario: >= 4 domains open concurrently in
+// one process, each on its own backend and its own address slot(s).
+TEST(DomainRegistryTest, FourConcurrentDomainsOnDistinctBackends) {
+  const pheap::TypeRegistry registry = MakeRegistry();
+  DomainRegistry domains;
+
+  ScopedRegionFile posix_file("reg_posix");
+  ScopedRegionFile shadow_file("reg_shadow");
+  const std::string shm_name =
+      "tsp_reg_shm_" + std::to_string(getpid()) + ".heap";
+  ::unlink(("/dev/shm/" + shm_name).c_str());
+
+  auto posix = domains.Open("posix", BaseOptions(posix_file.path()),
+                            &registry);
+  auto shm = domains.Open(
+      "shm",
+      BaseOptions(shm_name, std::make_shared<pheap::DevShmBackend>()),
+      &registry);
+  auto anon = domains.Open(
+      "anon",
+      BaseOptions("anon:reg", std::make_shared<pheap::AnonTestBackend>()),
+      &registry);
+  auto shadow = domains.Open(
+      "shadow",
+      BaseOptions(shadow_file.path(),
+                  std::make_shared<pheap::SimNvmShadowBackend>()),
+      &registry);
+
+  ASSERT_TRUE(posix.ok()) << posix.status().ToString();
+  ASSERT_TRUE(shm.ok()) << shm.status().ToString();
+  ASSERT_TRUE(anon.ok()) << anon.status().ToString();
+  ASSERT_TRUE(shadow.ok()) << shadow.status().ToString();
+  EXPECT_EQ(domains.size(), 4u);
+
+  // Every domain sits on its own backend...
+  std::set<std::string> backends;
+  std::set<std::uint32_t> slots;
+  std::set<void*> bases;
+  for (PersistenceDomain* domain : {*posix, *shm, *anon, *shadow}) {
+    backends.insert(domain->heap()->region()->backend()->name());
+    slots.insert(domain->heap()->region()->address_slot());
+    bases.insert(domain->heap()->region()->base());
+  }
+  EXPECT_EQ(backends.size(), 4u);
+  // ...and in its own address slot.
+  EXPECT_EQ(slots.size(), 4u);
+  EXPECT_EQ(bases.size(), 4u);
+
+  // All four are simultaneously writable.
+  for (PersistenceDomain* domain : {*posix, *shm, *anon, *shadow}) {
+    auto* counter = domain->heap()->New<Counter>();
+    ASSERT_NE(counter, nullptr);
+    domain->heap()->set_root(counter);
+  }
+
+  EXPECT_EQ(domains.names().size(), 4u);
+  EXPECT_NE(domains.Find("anon"), nullptr);
+  EXPECT_EQ(domains.Find("missing"), nullptr);
+
+  domains.CloseAllClean();
+  EXPECT_EQ(domains.size(), 0u);
+  ::unlink(("/dev/shm/" + shm_name).c_str());
+}
+
+TEST(DomainRegistryTest, DuplicateNameIsRefused) {
+  const pheap::TypeRegistry registry = MakeRegistry();
+  DomainRegistry domains;
+  ScopedRegionFile file("reg_dup");
+  auto first = domains.Open("d", BaseOptions(file.path()), &registry);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  ScopedRegionFile other("reg_dup2");
+  auto second = domains.Open("d", BaseOptions(other.path()), &registry);
+  ASSERT_FALSE(second.ok());
+  EXPECT_EQ(second.status().code(), StatusCode::kAlreadyExists);
+  domains.CloseAllClean();
+}
+
+TEST(DomainRegistryTest, CloseDropsTheDomain) {
+  const pheap::TypeRegistry registry = MakeRegistry();
+  DomainRegistry domains;
+  ScopedRegionFile file("reg_close");
+  ASSERT_TRUE(
+      domains.Open("d", BaseOptions(file.path()), &registry).ok());
+  EXPECT_TRUE(domains.Close("d").ok());
+  EXPECT_EQ(domains.Find("d"), nullptr);
+  EXPECT_EQ(domains.Close("d").code(), StatusCode::kNotFound);
+  // The name is reusable after close.
+  ScopedRegionFile file2("reg_close2");
+  EXPECT_TRUE(
+      domains.Open("d", BaseOptions(file2.path()), &registry).ok());
+  domains.CloseAllClean();
+}
+
+// A sharded domain: N heaps, each with its own runtime, recovered in
+// parallel after a simulated crash (heaps destroyed without
+// CloseClean).
+TEST(DomainRegistryTest, ShardedDomainRecoversAllShardsInParallel) {
+  const pheap::TypeRegistry registry = MakeRegistry();
+  const std::string path = UniqueRegionPath("reg_sharded");
+  auto options = BaseOptions(path);
+  options.shards = 4;
+
+  for (const std::string& shard_path :
+       PersistenceDomain::ShardPaths(options)) {
+    ::unlink(shard_path.c_str());
+  }
+  ASSERT_EQ(PersistenceDomain::ShardPaths(options).size(), 4u);
+
+  {
+    auto domain = PersistenceDomain::Open(options, &registry);
+    ASSERT_TRUE(domain.ok()) << domain.status().ToString();
+    EXPECT_EQ((*domain)->shard_count(), 4);
+    EXPECT_FALSE((*domain)->recovered());
+    std::set<std::uint32_t> slots;
+    for (int s = 0; s < 4; ++s) {
+      ASSERT_NE((*domain)->runtime(s), nullptr);
+      slots.insert((*domain)->heap(s)->region()->address_slot());
+      auto* counter = (*domain)->heap(s)->New<Counter>();
+      ASSERT_NE(counter, nullptr);
+      (*domain)->heap(s)->set_root(counter);
+    }
+    EXPECT_EQ(slots.size(), 4u) << "shards share an address slot";
+    // crash: destroy without CloseClean
+  }
+
+  {
+    auto domain = PersistenceDomain::Open(options, &registry);
+    ASSERT_TRUE(domain.ok()) << domain.status().ToString();
+    EXPECT_TRUE((*domain)->recovered());
+    ASSERT_EQ((*domain)->shard_recoveries().size(), 4u);
+    for (int s = 0; s < 4; ++s) {
+      // Every shard went through the full pipeline and kept its root.
+      EXPECT_TRUE((*domain)->shard_recoveries()[s].atlas.performed);
+      EXPECT_NE((*domain)->heap(s)->root<Counter>(), nullptr);
+    }
+    (*domain)->CloseClean();
+  }
+
+  {
+    auto domain = PersistenceDomain::Open(options, &registry);
+    ASSERT_TRUE(domain.ok());
+    EXPECT_FALSE((*domain)->recovered());
+    (*domain)->CloseClean();
+  }
+  for (const std::string& shard_path :
+       PersistenceDomain::ShardPaths(options)) {
+    ::unlink(shard_path.c_str());
+  }
+}
+
+TEST(DomainRegistryTest, ShardedDomainRejectsFixedBaseAddress) {
+  const pheap::TypeRegistry registry = MakeRegistry();
+  auto options = BaseOptions(UniqueRegionPath("reg_badbase"));
+  options.shards = 2;
+  options.region.base_address = pheap::kDefaultBaseAddress;
+  auto domain = PersistenceDomain::Open(options, &registry);
+  ASSERT_FALSE(domain.ok());
+  EXPECT_EQ(domain.status().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace tsp::domain

@@ -74,6 +74,35 @@ TEST(TspLintTest, SeededFixtureIsFlagged) {
   EXPECT_EQ(sink.error_count(), 5u);
 }
 
+TEST(TspLintTest, RawMmapFixtureIsFlagged) {
+  const report::FindingSink sink =
+      LintFixture(Testdata("mmap_fixture.cc"));
+  std::multiset<int> lines;
+  for (const report::Finding& finding : sink.findings()) {
+    EXPECT_EQ(finding.rule, "raw-mmap");
+    EXPECT_EQ(finding.severity, report::Severity::kError);
+    lines.insert(LineOf(finding));
+  }
+  // The raw mmap call and the bare MAP_FIXED use; the annotated call
+  // (line 16) must NOT appear.
+  EXPECT_EQ(lines, (std::multiset<int>{8, 12}));
+  EXPECT_EQ(sink.total(), 2u);
+  EXPECT_EQ(sink.error_count(), 2u);
+}
+
+// The backend layer implements the mapping mechanics and is the one
+// place allowed to mmap directly.
+TEST(TspLintTest, BackendLayerMayMmap) {
+  LintConfig config;
+  report::FindingSink sink(64);
+  const std::string path =
+      std::string(TSP_REPO_ROOT) + "/src/pheap/backend.cc";
+  LintFile(path, {}, config, &sink);
+  for (const report::Finding& finding : sink.findings()) {
+    EXPECT_NE(finding.rule, "raw-mmap") << finding.ToText();
+  }
+}
+
 TEST(TspLintTest, NonBlockingMarkerSuppressesRawStore) {
   const report::FindingSink sink =
       LintFixture(Testdata("nonblocking_fixture.cc"));

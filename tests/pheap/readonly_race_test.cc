@@ -1,0 +1,116 @@
+// Copyright 2026 The TSP Authors.
+// OpenReadOnly vs. a live writer process: diagnostics must be able to
+// attach to a heap that another process is actively mutating without
+// perturbing it — no generation bump, no clean-flag clearing, not a
+// single header byte written. The writer holds the heap open the whole
+// time (so the parent's read-only open really does race a live
+// mapping) and is SIGKILLed at the end.
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "pheap/heap.h"
+#include "pheap/test_util.h"
+
+namespace tsp::pheap {
+namespace {
+
+using testing::ScopedRegionFile;
+
+constexpr std::size_t kHeaderBytes = 4096;
+
+/// Entry point of the forked writer: build the heap, signal readiness,
+/// then mutate arena data (never the header) until killed.
+[[noreturn]] void WriterMain(const std::string& heap_path,
+                             const std::string& ready_path) {
+  RegionOptions options;
+  options.size = 8 * 1024 * 1024;
+  options.runtime_area_size = 1024 * 1024;
+  auto heap = PersistentHeap::Create(heap_path, options);
+  if (!heap.ok()) _exit(2);
+  auto* array = static_cast<std::uint64_t*>((*heap)->Alloc(4096));
+  if (array == nullptr) _exit(2);
+  (*heap)->set_root(array);
+
+  // All allocation and root publication is done; from here on only the
+  // preallocated array is stored to, so the header stays byte-stable.
+  const int ready_fd = ::open(ready_path.c_str(), O_CREAT | O_WRONLY, 0644);
+  if (ready_fd >= 0) ::close(ready_fd);
+
+  for (std::uint64_t i = 0;; ++i) {
+    array[i % 512] = i;
+  }
+}
+
+bool ReadHeaderBytes(const std::string& path, unsigned char* out) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return false;
+  std::size_t done = 0;
+  while (done < kHeaderBytes) {
+    const ssize_t n = ::pread(fd, out + done, kHeaderBytes - done,
+                              static_cast<off_t>(done));
+    if (n <= 0) break;
+    done += static_cast<std::size_t>(n);
+  }
+  ::close(fd);
+  return done == kHeaderBytes;
+}
+
+TEST(ReadOnlyRaceTest, OpenReadOnlyDoesNotPerturbALiveWriter) {
+  ScopedRegionFile file("ro_race");
+  const std::string ready_path = file.path() + ".ready";
+  ::unlink(ready_path.c_str());
+
+  const pid_t pid = fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    WriterMain(file.path(), ready_path);  // never returns
+  }
+
+  // Wait for the writer to finish setup (bounded; the writer may also
+  // die early, which waitpid below will surface).
+  for (int spins = 0; ::access(ready_path.c_str(), F_OK) != 0; ++spins) {
+    ASSERT_LT(spins, 5000) << "writer never became ready";
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  unsigned char before[kHeaderBytes], after[kHeaderBytes];
+  ASSERT_TRUE(ReadHeaderBytes(file.path(), before));
+
+  {
+    auto heap = PersistentHeap::OpenReadOnly(file.path());
+    ASSERT_TRUE(heap.ok()) << heap.status().ToString();
+    EXPECT_TRUE((*heap)->region()->read_only());
+    const RegionHeader* header = (*heap)->region()->header();
+    EXPECT_EQ(header->region_size, 8u * 1024 * 1024);
+    // The writer is live: its session has not marked a clean shutdown.
+    EXPECT_FALSE(header->clean_shutdown.load(std::memory_order_relaxed));
+    // Inspection can follow the root like any reader.
+    EXPECT_NE((*heap)->root<std::uint64_t>(), nullptr);
+  }
+
+  ASSERT_TRUE(ReadHeaderBytes(file.path(), after));
+  EXPECT_EQ(std::memcmp(before, after, kHeaderBytes), 0)
+      << "read-only open wrote into the header";
+
+  kill(pid, SIGKILL);
+  int status = 0;
+  waitpid(pid, &status, 0);
+  EXPECT_TRUE(WIFSIGNALED(status))
+      << "writer exited prematurely with status " << status;
+  ::unlink(ready_path.c_str());
+}
+
+}  // namespace
+}  // namespace tsp::pheap

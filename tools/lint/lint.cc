@@ -191,6 +191,7 @@ const std::regex kMemWriteRe(
 const std::regex kLockCallRe(R"([\w\)\]]\s*(?:->|\.)\s*lock\s*\()");
 const std::regex kUnlockCallRe(R"([\w\)\]]\s*(?:->|\.)\s*unlock\s*\()");
 const std::regex kFlushCallRe(R"(\b(FlushLine|StoreFence)\s*\()");
+const std::regex kMmapRe(R"(\bmmap\s*\(|\bMAP_FIXED\b)");
 
 bool Allowed(const FileText& text, int lineno, const std::string& rule) {
   auto it = text.allowed.find(lineno);
@@ -270,6 +271,12 @@ void LintFile(const std::string& path, const std::set<std::string>& types,
   }();
   const bool flush_whitelisted = [&] {
     for (const std::string& needle : config.flush_whitelist) {
+      if (PathContains(path, needle)) return true;
+    }
+    return false;
+  }();
+  const bool mmap_whitelisted = [&] {
+    for (const std::string& needle : config.mmap_whitelist) {
       if (PathContains(path, needle)) return true;
     }
     return false;
@@ -372,6 +379,21 @@ void LintFile(const std::string& path, const std::set<std::string>& types,
           " call outside the persistence-policy layer; route flushes "
           "through PersistencePolicy so TSP mode stays flush-free "
           "(or annotate: // tsp-lint: allow(flush-misuse))";
+      sink->Add(std::move(finding));
+    }
+
+    // --- rule: raw-mmap ---
+    if (!mmap_whitelisted && std::regex_search(code, kMmapRe) &&
+        !Allowed(text, lineno, "raw-mmap")) {
+      report::Finding finding;
+      finding.severity = report::Severity::kError;
+      finding.tool = "tsp-lint";
+      finding.rule = "raw-mmap";
+      finding.location = Location(path, lineno);
+      finding.message =
+          "raw mmap / MAP_FIXED outside the region-backend layer; map "
+          "fixed-address memory through RegionBackend so the address-slot "
+          "allocator sees it (or annotate: // tsp-lint: allow(raw-mmap))";
       sink->Add(std::move(finding));
     }
   }

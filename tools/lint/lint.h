@@ -15,6 +15,12 @@
 //   flush-misuse    a direct FlushLine/StoreFence call outside the
 //                   persistence-policy layer; the whole point of TSP
 //                   mode is that data-path code never flushes.
+//   raw-mmap        a direct mmap() call or MAP_FIXED use outside the
+//                   region-backend layer (pheap/backend*). Fixed-address
+//                   mapping must go through RegionBackend so the
+//                   AddressSlotAllocator sees every reservation; a raw
+//                   MAP_FIXED elsewhere can silently clobber a live
+//                   persistent region.
 //
 // Escape hatches:
 //   `// tsp-lint: allow(<rule>)` on the offending line or the line
@@ -48,6 +54,11 @@ struct LintConfig {
       "simnvm/",
       "core/persistence_policy",
       "bench_flush",
+  };
+  /// Files whose path contains one of these substrings may call mmap /
+  /// use MAP_FIXED directly (they implement the mapping mechanics).
+  std::vector<std::string> mmap_whitelist = {
+      "pheap/backend",
   };
   /// Directory / path components never scanned.
   std::vector<std::string> skip_components = {

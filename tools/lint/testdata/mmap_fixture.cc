@@ -1,0 +1,17 @@
+// Deliberately bad fixture for the raw-mmap rule: fixed-address
+// mapping outside the region-backend layer. Never compiled; scanned by
+// lint_test, which asserts the exact finding lines below.
+
+#include <sys/mman.h>
+
+void* MapRaw(void* want, unsigned long size) {
+  void* got = mmap(want, size, 0x3, 0x11, -1, 0);
+  return got;
+}
+
+int FixedFlag() { return MAP_FIXED; }
+
+void* Blessed(void* want, unsigned long size) {
+  // tsp-lint: allow(raw-mmap)
+  return mmap(want, size, 0x3, 0x11, -1, 0);
+}

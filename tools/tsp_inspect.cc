@@ -4,20 +4,26 @@
 // never runs recovery; safe to point at a live application's heap file
 // or at a crashed one awaiting recovery.
 //
-//   $ tsp_inspect <heap-file> header        # region control block
-//   $ tsp_inspect <heap-file> alloc         # allocator accounting
-//   $ tsp_inspect <heap-file> check         # full integrity check
-//   $ tsp_inspect <heap-file> check --json  # ... machine-readable findings
-//   $ tsp_inspect <heap-file> log           # Atlas undo-log summary
-//   $ tsp_inspect <heap-file> log -v        # ... with per-entry dump
+//   $ tsp_inspect header a.heap             # region control block
+//   $ tsp_inspect alloc a.heap              # allocator accounting
+//   $ tsp_inspect check a.heap              # full integrity check
+//   $ tsp_inspect check a.heap b.heap --json  # shard set, per-shard JSON
+//   $ tsp_inspect log a.heap                # Atlas undo-log summary
+//   $ tsp_inspect log a.heap -v             # ... with per-entry dump
 //
-// `check` and `log` exit nonzero when the heap (or its undo log) is
+// Every command accepts multiple heap files (a sharded domain's shard
+// set); output is attributed per shard and the exit code is nonzero if
+// ANY shard has problems. The historical `tsp_inspect <file> <command>`
+// order still works.
+//
+// `check` and `log` exit nonzero when a heap (or its undo log) is
 // inconsistent, so scripts and CI can gate on them.
 
 #include <cinttypes>
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "atlas/log_layout.h"
 #include "common/findings.h"
@@ -92,6 +98,8 @@ int ShowAlloc(const PersistentHeap& heap) {
   return 0;
 }
 
+/// Runs the integrity check on one heap. In JSON mode the caller
+/// assembles the per-shard array, so this emits only the object body.
 int ShowCheck(const PersistentHeap& heap, bool json) {
   // Register the library's standard persistent types so reachability
   // can trace the built-in data structures; application-specific types
@@ -104,7 +112,9 @@ int ShowCheck(const PersistentHeap& heap, bool json) {
   if (json) {
     tsp::report::FindingSink sink(64);
     report.AppendTo(&sink);
-    std::printf("%s\n", sink.ToJson().c_str());
+    std::printf("{\"path\":\"%s\",\"ok\":%s,\"report\":%s}",
+                tsp::report::JsonEscape(heap.region()->path()).c_str(),
+                report.ok ? "true" : "false", sink.ToJson().c_str());
   } else {
     std::printf("%s\n", report.ToString().c_str());
   }
@@ -169,33 +179,79 @@ int ShowLog(const PersistentHeap& heap, bool verbose) {
   return exit_code;
 }
 
+bool IsCommand(const std::string& word) {
+  return word == "header" || word == "alloc" || word == "check" ||
+         word == "log";
+}
+
+int Usage(const char* prog) {
+  std::fprintf(stderr,
+               "usage: %s {header | alloc | check [--json] | log [-v]} "
+               "<heap-file> [<heap-file>...]\n"
+               "       %s <heap-file> <command> [flags]   (historical "
+               "order)\n",
+               prog, prog);
+  return 2;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 3) {
-    std::fprintf(stderr,
-                 "usage: %s <heap-file> {header | alloc | check [--json] "
-                 "| log [-v]}\n",
-                 argv[0]);
-    return 2;
+  std::string command;
+  std::vector<std::string> paths;
+  bool json = false;
+  bool verbose = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      json = true;
+    } else if (arg == "-v" || arg == "--verbose") {
+      verbose = true;
+    } else if (command.empty() && IsCommand(arg)) {
+      command = arg;
+    } else if (!IsCommand(arg)) {
+      paths.push_back(arg);
+    } else {
+      std::fprintf(stderr, "stray argument: %s\n", arg.c_str());
+      return Usage(argv[0]);
+    }
   }
-  auto heap = PersistentHeap::OpenReadOnly(argv[1]);
-  if (!heap.ok()) {
-    std::fprintf(stderr, "cannot open %s: %s\n", argv[1],
-                 heap.status().ToString().c_str());
-    return 1;
-  }
+  if (command.empty() || paths.empty()) return Usage(argv[0]);
 
-  const std::string command = argv[2];
-  if (command == "header") return ShowHeader(**heap);
-  if (command == "alloc") return ShowAlloc(**heap);
-  if (command == "check") {
-    return ShowCheck(**heap,
-                     argc > 3 && std::strcmp(argv[3], "--json") == 0);
+  int exit_code = 0;
+  bool first = true;
+  if (command == "check" && json) std::printf("[");
+  for (const std::string& path : paths) {
+    auto heap = PersistentHeap::OpenReadOnly(path);
+    if (!heap.ok()) {
+      if (command == "check" && json) {
+        std::printf("%s{\"path\":\"%s\",\"ok\":false,\"error\":\"%s\"}",
+                    first ? "" : ",",
+                    tsp::report::JsonEscape(path).c_str(),
+                    tsp::report::JsonEscape(
+                        heap.status().ToString()).c_str());
+        first = false;
+      } else {
+        std::fprintf(stderr, "cannot open %s: %s\n", path.c_str(),
+                     heap.status().ToString().c_str());
+      }
+      exit_code = 1;
+      continue;
+    }
+    if (command == "check" && json) {
+      if (!first) std::printf(",");
+    } else if (paths.size() > 1) {
+      // Attribute every block to its shard in multi-file runs.
+      std::printf("%s=== %s ===\n", first ? "" : "\n", path.c_str());
+    }
+    first = false;
+    int rc = 2;
+    if (command == "header") rc = ShowHeader(**heap);
+    if (command == "alloc") rc = ShowAlloc(**heap);
+    if (command == "check") rc = ShowCheck(**heap, json);
+    if (command == "log") rc = ShowLog(**heap, verbose);
+    if (rc != 0) exit_code = rc;
   }
-  if (command == "log") {
-    return ShowLog(**heap, argc > 3 && std::strcmp(argv[3], "-v") == 0);
-  }
-  std::fprintf(stderr, "unknown command: %s\n", command.c_str());
-  return 2;
+  if (command == "check" && json) std::printf("]\n");
+  return exit_code;
 }
