@@ -89,6 +89,18 @@ BENCHMARK_DEFINE_F(MapVariantBench, WorkloadIteration)
     state.counters["batched_publishes"] =
         static_cast<double>(stats.batched_publishes);
   }
+  // Allocator magazine counters: how much allocation traffic the
+  // workload kept off the shared free-list lines.
+  if (thread == 0) {
+    const tsp::pheap::AllocatorStats alloc_stats =
+        session_->heap()->GetAllocatorStats();
+    state.counters["magazine_allocs"] =
+        static_cast<double>(alloc_stats.magazine_allocs);
+    state.counters["shared_allocs"] =
+        static_cast<double>(alloc_stats.shared_allocs);
+    state.counters["remote_frees"] =
+        static_cast<double>(alloc_stats.remote_frees);
+  }
 }
 
 BENCHMARK_REGISTER_F(MapVariantBench, WorkloadIteration)

@@ -64,6 +64,13 @@ struct Row {
   /// Atlas counters; all zero for the unlogged variants. Summed across
   /// shard runtimes in sharded runs.
   AtlasRuntimeStats atlas;
+  /// Allocator magazine counters (summed across shard heaps): how much
+  /// of the allocation traffic stayed on thread-local magazines vs the
+  /// shared CAS lines, and how much crossed threads via the remote-free
+  /// inboxes.
+  std::uint64_t magazine_allocs = 0;
+  std::uint64_t shared_allocs = 0;
+  std::uint64_t remote_frees = 0;
 };
 
 /// One full four-variant table at a given shard count.
@@ -119,7 +126,12 @@ void RunVariant(const WorkloadOptions& workload, int shards, Row* row) {
   row->lines_flushed = tsp::GlobalFlushStats().lines_flushed.load();
   row->fences = tsp::GlobalFlushStats().fences.load();
   for (int s = 0; s < (*session)->shard_count(); ++s) {
-    if ((*session)->runtime(s) == nullptr) break;
+    const tsp::pheap::AllocatorStats alloc_stats =
+        (*session)->heap(s)->GetAllocatorStats();
+    row->magazine_allocs += alloc_stats.magazine_allocs;
+    row->shared_allocs += alloc_stats.shared_allocs;
+    row->remote_frees += alloc_stats.remote_frees;
+    if ((*session)->runtime(s) == nullptr) continue;
     const AtlasRuntimeStats stats = (*session)->runtime(s)->GetStats();
     row->atlas.undo_records += stats.undo_records;
     row->atlas.seq_blocks_leased += stats.seq_blocks_leased;
@@ -187,9 +199,15 @@ bool WriteJson(const std::string& json_path, const WorkloadOptions& workload,
                        row.atlas.seq_blocks_leased));
       std::fprintf(f, "          \"seq_resyncs\": %llu,\n",
                    static_cast<unsigned long long>(row.atlas.seq_resyncs));
-      std::fprintf(f, "          \"batched_publishes\": %llu\n",
+      std::fprintf(f, "          \"batched_publishes\": %llu,\n",
                    static_cast<unsigned long long>(
                        row.atlas.batched_publishes));
+      std::fprintf(f, "          \"magazine_allocs\": %llu,\n",
+                   static_cast<unsigned long long>(row.magazine_allocs));
+      std::fprintf(f, "          \"shared_allocs\": %llu,\n",
+                   static_cast<unsigned long long>(row.shared_allocs));
+      std::fprintf(f, "          \"remote_frees\": %llu\n",
+                   static_cast<unsigned long long>(row.remote_frees));
       std::fprintf(f, "        }%s\n", i + 1 < kRowCount ? "," : "");
     }
     std::fprintf(f, "      ],\n");
@@ -283,15 +301,16 @@ int main(int argc, char** argv) {
     std::printf("\n--- %d shard heap%s (total arena %llu MB) ---\n", shards,
                 shards == 1 ? "" : "s",
                 static_cast<unsigned long long>(kTotalArenaBytes >> 20));
-    std::printf("  %-26s %14s %16s %14s %12s\n", "variant", "Miter/s",
-                "lines flushed", "seq leases", "resyncs");
+    std::printf("  %-26s %14s %16s %14s %12s %14s\n", "variant", "Miter/s",
+                "lines flushed", "seq leases", "resyncs", "mag allocs");
     for (Row& row : run.rows) {
       RunVariant(workload, shards, &row);
-      std::printf("  %-26s %14.3f %16llu %14llu %12llu\n", row.label,
+      std::printf("  %-26s %14.3f %16llu %14llu %12llu %14llu\n", row.label,
                   row.miters,
                   static_cast<unsigned long long>(row.lines_flushed),
                   static_cast<unsigned long long>(row.atlas.seq_blocks_leased),
-                  static_cast<unsigned long long>(row.atlas.seq_resyncs));
+                  static_cast<unsigned long long>(row.atlas.seq_resyncs),
+                  static_cast<unsigned long long>(row.magazine_allocs));
     }
     std::printf("\nDerived (paper §5.2 reports desktop/server):\n");
     std::printf("  Atlas log-only overhead vs native:   %5.1f%%  "

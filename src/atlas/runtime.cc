@@ -131,6 +131,11 @@ AtlasThread* AtlasRuntime::CurrentThread() {
 }
 
 void AtlasRuntime::UnregisterCurrentThread() {
+  // An orderly Atlas thread exit also retires the thread's allocator
+  // magazines: a worker that unregisters here will typically never
+  // allocate from this heap again, and parked blocks would otherwise
+  // stay invisible to other threads until the allocator itself dies.
+  heap_->allocator()->FlushCurrentThreadCache();
   for (auto it = tls_bindings.begin(); it != tls_bindings.end(); ++it) {
     if (it->instance_id != instance_id_) continue;
     AtlasThread* thread = it->thread;

@@ -99,7 +99,7 @@ CheckReport CheckHeap(const PersistentHeap& heap,
     const std::size_t expected_size =
         Allocator::ClassBlockSize(static_cast<int>(size_class));
     std::uint64_t offset =
-        OffsetOf(header->free_lists[size_class].load(
+        OffsetOf(header->free_list_head(size_class).load(
             std::memory_order_relaxed));
     std::uint64_t walked = 0;
     while (offset != 0) {
@@ -117,6 +117,8 @@ CheckReport CheckHeap(const PersistentHeap& heap,
         break;
       }
       if (block->block_size != expected_size) {
+        // Raw comparison on purpose: Free clears the owner tag, so a
+        // tagged word on a free list means a torn or foreign block.
         AddProblem(&report,
                    "free block of wrong size in class " +
                        std::to_string(size_class) + ": " +
@@ -166,15 +168,15 @@ CheckReport CheckHeap(const PersistentHeap& heap,
                               std::to_string(block_offset));
       continue;
     }
-    if (Allocator::SizeClassOf(block->block_size) < 0 ||
-        block_offset + block->block_size > bump) {
+    if (Allocator::SizeClassOf(block->size()) < 0 ||
+        block_offset + block->size() > bump) {
       AddProblem(&report, "reachable block with bad size at " +
                               std::to_string(block_offset));
       continue;
     }
-    extents.push_back({block_offset, block->block_size});
+    extents.push_back({block_offset, block->size()});
     ++report.reachable_objects;
-    report.reachable_bytes += block->block_size;
+    report.reachable_bytes += block->size();
     if (block->type_id != 0) {
       const TypeInfo* info = registry.Find(block->type_id);
       if (info != nullptr && info->trace) info->trace(block + 1, visit);
@@ -198,6 +200,9 @@ CheckReport CheckHeap(const PersistentHeap& heap,
     covered += extent.size;
     cursor = std::max(cursor, extent.offset + extent.size);
   }
+  // Not a problem by itself: besides GC slivers and crash leaks (both
+  // reclaimed by the next GC), bytes parked in live thread magazines or
+  // remote-free inboxes are intentionally on no list and unreachable.
   const std::uint64_t used = bump - arena_start;
   report.unaccounted_bytes = used > covered ? used - covered : 0;
 

@@ -25,12 +25,15 @@ std::uint64_t ValidateBlock(const MappedRegion* region, const void* payload) {
   const auto* block = static_cast<const BlockHeader*>(
       region->FromOffset(header_offset));
   if (block->magic != BlockHeader::kAllocatedMagic) return 0;
-  if (block->block_size % kGranule != 0 || block->block_size < 2 * kGranule) {
+  // Allocated headers pack an advisory magazine owner tag into the high
+  // bits; every size computation must go through size().
+  const std::uint64_t size = block->size();
+  if (size % kGranule != 0 || size < 2 * kGranule) {
     return 0;
   }
-  if (Allocator::SizeClassOf(block->block_size) < 0) return 0;
+  if (Allocator::SizeClassOf(size) < 0) return 0;
   const std::uint64_t arena_end = rh->arena_offset + rh->arena_size;
-  if (header_offset + block->block_size > arena_end) return 0;
+  if (header_offset + size > arena_end) return 0;
   return header_offset;
 }
 
@@ -82,9 +85,9 @@ GcStats RunMarkSweepGc(Allocator* allocator, const TypeRegistry& registry) {
 
     const auto* block =
         static_cast<const BlockHeader*>(region->FromOffset(header_offset));
-    live.push_back({header_offset, block->block_size});
+    live.push_back({header_offset, block->size()});
     ++stats.live_objects;
-    stats.live_bytes += block->block_size;
+    stats.live_bytes += block->size();
 
     if (block->type_id != 0) {
       const TypeInfo* info = registry.Find(block->type_id);
@@ -112,6 +115,12 @@ GcStats RunMarkSweepGc(Allocator* allocator, const TypeRegistry& registry) {
   }
   stats.tail_reclaimed_bytes = old_bump > new_bump ? old_bump - new_bump : 0;
 
+  // Discards every advisory structure at once: free lists, bump pointer,
+  // remote-free inboxes, and (via the epoch bump) all per-thread
+  // magazines. Recovery itself needs nothing beyond this — magazines are
+  // DRAM-only and were never authoritative, so a crash with parked
+  // blocks just makes those bytes unreachable, and the sweep below
+  // re-carves them.
   allocator->ResetMetadata(new_bump);
 
   auto carve_gap = [&](std::uint64_t start, std::uint64_t end) {

@@ -127,8 +127,15 @@ class PersistentHeap {
     return region_->header()->runtime_area_size;
   }
 
-  /// Marks a clean shutdown and syncs to the backing file.
-  void CloseClean() { region_->MarkCleanShutdown(); }
+  /// Marks a clean shutdown and syncs to the backing file. The calling
+  /// thread's magazines drain to the shared lists first so the on-media
+  /// metadata a clean successor session trusts is exact; other threads
+  /// drain at their own exit or at allocator destruction (both before
+  /// the mapping goes away, which is what the sync cares about).
+  void CloseClean() {
+    allocator_.FlushCurrentThreadCache();
+    region_->MarkCleanShutdown();
+  }
 
   /// msync to the backing file (only needed by non-TSP plans).
   Status SyncToBacking() { return region_->SyncToBacking(); }
@@ -136,6 +143,7 @@ class PersistentHeap {
   MappedRegion* region() { return region_.get(); }
   const MappedRegion* region() const { return region_.get(); }
   Allocator* allocator() { return &allocator_; }
+  const Allocator* allocator() const { return &allocator_; }
   AllocatorStats GetAllocatorStats() const { return allocator_.GetStats(); }
 
  private:

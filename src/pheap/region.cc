@@ -164,8 +164,8 @@ StatusOr<std::unique_ptr<MappedRegion>> MappedRegion::Create(
   header->root_offset.store(0, std::memory_order_relaxed);
   header->global_sequence.store(1, std::memory_order_relaxed);
   header->bump_offset.store(header->arena_offset, std::memory_order_relaxed);
-  for (auto& head : header->free_lists) {
-    head.store(0, std::memory_order_relaxed);
+  for (auto& list : header->free_lists) {
+    list.head.store(0, std::memory_order_relaxed);
   }
   header->total_allocs.store(0, std::memory_order_relaxed);
   header->total_frees.store(0, std::memory_order_relaxed);
@@ -239,6 +239,10 @@ StatusOr<std::unique_ptr<MappedRegion>> MappedRegion::OpenReadOnly(
   if (peeked.magic != kRegionMagic ||
       peeked.region_size != peeked.store_size) {
     return Status::Corruption("not a TSP region (or truncated): " + path);
+  }
+  if (peeked.version != kLayoutVersion) {
+    return Status::Corruption("unsupported region layout version " +
+                              std::to_string(peeked.version));
   }
 
   // Diagnostics never reserve the slot: the mapping is private and

@@ -144,8 +144,8 @@ TEST_F(GcTest, SimulatedTornMetadataIsRebuilt) {
   // Simulate a crash that tore allocator metadata: scribble the free
   // lists and bump pointer with garbage (within arena bounds).
   RegionHeader* h = heap_->region()->header();
-  h->free_lists[2].store(MakeTagged(7, h->arena_offset + 8 * kGranule),
-                         std::memory_order_relaxed);
+  h->free_lists[2].head.store(MakeTagged(7, h->arena_offset + 8 * kGranule),
+                              std::memory_order_relaxed);
   h->bump_offset.store(h->arena_offset + h->arena_size,
                        std::memory_order_relaxed);
 

@@ -98,6 +98,73 @@ int ShowAlloc(const PersistentHeap& heap) {
   return 0;
 }
 
+/// Allocator telemetry: magazine/shared operation split, batch-transfer
+/// counters, and per-class shared free-list lengths. On a file opened
+/// read-only the magazine counters are whatever the writing process
+/// flushed (magazines are DRAM state of the live process, not the
+/// file); the free-list walk reads the persistent lists directly.
+int ShowStats(const PersistentHeap& heap, bool json) {
+  const tsp::pheap::AllocatorStats stats = heap.GetAllocatorStats();
+  const auto lists = heap.allocator()->FreeListLengths();
+  if (json) {
+    std::printf("{\"path\":\"%s\",",
+                tsp::report::JsonEscape(heap.region()->path()).c_str());
+    std::printf("\"total_allocs\":%" PRIu64 ",\"total_frees\":%" PRIu64 ",",
+                stats.total_allocs, stats.total_frees);
+    std::printf("\"magazine_allocs\":%" PRIu64
+                ",\"magazine_frees\":%" PRIu64 ",",
+                stats.magazine_allocs, stats.magazine_frees);
+    std::printf("\"shared_allocs\":%" PRIu64 ",\"shared_frees\":%" PRIu64
+                ",",
+                stats.shared_allocs, stats.shared_frees);
+    std::printf("\"refill_batches\":%" PRIu64 ",\"carve_batches\":%" PRIu64
+                ",\"drain_batches\":%" PRIu64 ",",
+                stats.refill_batches, stats.carve_batches,
+                stats.drain_batches);
+    std::printf("\"remote_frees\":%" PRIu64 ",\"remote_reclaims\":%" PRIu64
+                ",\"magazine_discards\":%" PRIu64
+                ",\"batch_pop_retries\":%" PRIu64 ",",
+                stats.remote_frees, stats.remote_reclaims,
+                stats.magazine_discards, stats.batch_pop_retries);
+    std::printf("\"free_lists\":[");
+    bool first = true;
+    for (const auto& list : lists) {
+      if (list.blocks == 0) continue;
+      std::printf("%s{\"block_size\":%zu,\"blocks\":%" PRIu64 "}",
+                  first ? "" : ",", list.block_size, list.blocks);
+      first = false;
+    }
+    std::printf("]}");
+    return 0;
+  }
+  std::printf("allocator stats:\n");
+  std::printf("  total allocs:       %" PRIu64 "\n", stats.total_allocs);
+  std::printf("  total frees:        %" PRIu64 "\n", stats.total_frees);
+  std::printf("  magazine allocs:    %" PRIu64 "\n", stats.magazine_allocs);
+  std::printf("  magazine frees:     %" PRIu64 "\n", stats.magazine_frees);
+  std::printf("  shared allocs:      %" PRIu64 "\n", stats.shared_allocs);
+  std::printf("  shared frees:       %" PRIu64 "\n", stats.shared_frees);
+  std::printf("  refill batches:     %" PRIu64 "\n", stats.refill_batches);
+  std::printf("  carve batches:      %" PRIu64 "\n", stats.carve_batches);
+  std::printf("  drain batches:      %" PRIu64 "\n", stats.drain_batches);
+  std::printf("  remote frees:       %" PRIu64 "\n", stats.remote_frees);
+  std::printf("  remote reclaims:    %" PRIu64 "\n", stats.remote_reclaims);
+  std::printf("  magazine discards:  %" PRIu64 "\n",
+              stats.magazine_discards);
+  std::printf("  batch-pop retries:  %" PRIu64 "\n",
+              stats.batch_pop_retries);
+  std::printf("  shared free lists (non-empty classes):\n");
+  bool any = false;
+  for (const auto& list : lists) {
+    if (list.blocks == 0) continue;
+    std::printf("    %8zu B: %" PRIu64 " blocks\n", list.block_size,
+                list.blocks);
+    any = true;
+  }
+  if (!any) std::printf("    (all empty)\n");
+  return 0;
+}
+
 /// Runs the integrity check on one heap. In JSON mode the caller
 /// assembles the per-shard array, so this emits only the object body.
 int ShowCheck(const PersistentHeap& heap, bool json) {
@@ -181,12 +248,13 @@ int ShowLog(const PersistentHeap& heap, bool verbose) {
 
 bool IsCommand(const std::string& word) {
   return word == "header" || word == "alloc" || word == "check" ||
-         word == "log";
+         word == "log" || word == "stats";
 }
 
 int Usage(const char* prog) {
   std::fprintf(stderr,
-               "usage: %s {header | alloc | check [--json] | log [-v]} "
+               "usage: %s {header | alloc | stats [--json] | check "
+               "[--json] | log [-v]} "
                "<heap-file> [<heap-file>...]\n"
                "       %s <heap-file> <command> [flags]   (historical "
                "order)\n",
@@ -218,13 +286,15 @@ int main(int argc, char** argv) {
   }
   if (command.empty() || paths.empty()) return Usage(argv[0]);
 
+  const bool json_array =
+      json && (command == "check" || command == "stats");
   int exit_code = 0;
   bool first = true;
-  if (command == "check" && json) std::printf("[");
+  if (json_array) std::printf("[");
   for (const std::string& path : paths) {
     auto heap = PersistentHeap::OpenReadOnly(path);
     if (!heap.ok()) {
-      if (command == "check" && json) {
+      if (json_array) {
         std::printf("%s{\"path\":\"%s\",\"ok\":false,\"error\":\"%s\"}",
                     first ? "" : ",",
                     tsp::report::JsonEscape(path).c_str(),
@@ -238,7 +308,7 @@ int main(int argc, char** argv) {
       exit_code = 1;
       continue;
     }
-    if (command == "check" && json) {
+    if (json_array) {
       if (!first) std::printf(",");
     } else if (paths.size() > 1) {
       // Attribute every block to its shard in multi-file runs.
@@ -248,10 +318,11 @@ int main(int argc, char** argv) {
     int rc = 2;
     if (command == "header") rc = ShowHeader(**heap);
     if (command == "alloc") rc = ShowAlloc(**heap);
+    if (command == "stats") rc = ShowStats(**heap, json);
     if (command == "check") rc = ShowCheck(**heap, json);
     if (command == "log") rc = ShowLog(**heap, verbose);
     if (rc != 0) exit_code = rc;
   }
-  if (command == "check" && json) std::printf("]\n");
+  if (json_array) std::printf("]\n");
   return exit_code;
 }
