@@ -42,6 +42,7 @@
 
 #include "atlas/runtime.h"
 #include "common/flush.h"
+#include "obs/metrics.h"
 #include "workload/map_session.h"
 #include "workload/workload.h"
 
@@ -71,6 +72,9 @@ struct Row {
   std::uint64_t magazine_allocs = 0;
   std::uint64_t shared_allocs = 0;
   std::uint64_t remote_frees = 0;
+  /// Unified metrics registry snapshot taken while the variant's session
+  /// was still open (the pull sources unregister at close). Already JSON.
+  std::string metrics_json = "{}";
 };
 
 /// One full four-variant table at a given shard count.
@@ -120,6 +124,7 @@ void RunVariant(const WorkloadOptions& workload, int shards, Row* row) {
   }
 
   tsp::GlobalFlushStats().Reset();
+  tsp::obs::DefaultRegistry().ResetOwned();
   const WorkloadResult result =
       RunMapWorkload((*session)->map(), workload);
   row->miters = result.millions_iter_per_sec;
@@ -138,6 +143,7 @@ void RunVariant(const WorkloadOptions& workload, int shards, Row* row) {
     row->atlas.seq_resyncs += stats.seq_resyncs;
     row->atlas.batched_publishes += stats.batched_publishes;
   }
+  row->metrics_json = tsp::obs::DefaultRegistry().Snapshot().ToJson();
 
   (*session)->CloseClean();
   session->reset();
@@ -206,8 +212,10 @@ bool WriteJson(const std::string& json_path, const WorkloadOptions& workload,
                    static_cast<unsigned long long>(row.magazine_allocs));
       std::fprintf(f, "          \"shared_allocs\": %llu,\n",
                    static_cast<unsigned long long>(row.shared_allocs));
-      std::fprintf(f, "          \"remote_frees\": %llu\n",
+      std::fprintf(f, "          \"remote_frees\": %llu,\n",
                    static_cast<unsigned long long>(row.remote_frees));
+      std::fprintf(f, "          \"metrics\": %s\n",
+                   row.metrics_json.c_str());
       std::fprintf(f, "        }%s\n", i + 1 < kRowCount ? "," : "");
     }
     std::fprintf(f, "      ],\n");

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstring>
 #include <thread>
 #include <unordered_map>
@@ -9,6 +10,7 @@
 
 #include "atlas/log_layout.h"
 #include "common/logging.h"
+#include "obs/metrics.h"
 #include "pheap/sanitizer.h"
 
 namespace tsp::atlas {
@@ -52,6 +54,21 @@ StatusOr<RecoveryStats> RecoverAtlas(pheap::PersistentHeap* heap) {
     return stats;  // clean shutdown: nothing can need rollback
   }
   stats.performed = true;
+  TSP_COUNTER_INC("recovery.heaps_recovered");
+
+  // Per-phase wall time, observed into power-of-two histograms so the
+  // recovery cost structure (scan vs analysis vs rollback) is visible in
+  // every metrics snapshot without bench-specific plumbing.
+  using Clock = std::chrono::steady_clock;
+  auto observe_us = []([[maybe_unused]] const char* name,
+                       [[maybe_unused]] Clock::time_point since) {
+    TSP_HISTOGRAM_OBSERVE(
+        name, static_cast<std::uint64_t>(
+                  std::chrono::duration_cast<std::chrono::microseconds>(
+                      Clock::now() - since)
+                      .count()));
+  };
+  [[maybe_unused]] auto phase_start = Clock::now();
 
   void* area_base = heap->runtime_area();
   const std::size_t area_size = heap->runtime_area_size();
@@ -136,6 +153,9 @@ StatusOr<RecoveryStats> RecoverAtlas(pheap::PersistentHeap* heap) {
     }
   }
 
+  observe_us("recovery.scan_us", phase_start);
+  phase_start = Clock::now();
+
   // --- rollback closure ---
   // Base set: every OCS that never committed. Cascade along two kinds of
   // happens-before edges: lock release→acquire dependencies, and
@@ -150,10 +170,20 @@ StatusOr<RecoveryStats> RecoverAtlas(pheap::PersistentHeap* heap) {
   auto mark = [&](std::size_t i, bool incomplete) {
     if (records[i].rolled_back) return;
     records[i].rolled_back = true;
+    const std::uint64_t packed =
+        PackThreadOcs(records[i].thread, records[i].ocs_id);
     if (incomplete) {
       ++stats.ocses_incomplete;
+      if (stats.rolled_back_incomplete.size() <
+          RecoveryStats::kMaxReportedRollbacks) {
+        stats.rolled_back_incomplete.push_back(packed);
+      }
     } else {
       ++stats.ocses_cascaded;
+      if (stats.rolled_back_cascaded.size() <
+          RecoveryStats::kMaxReportedRollbacks) {
+        stats.rolled_back_cascaded.push_back(packed);
+      }
     }
     worklist.push_back(i);
   };
@@ -186,6 +216,9 @@ StatusOr<RecoveryStats> RecoverAtlas(pheap::PersistentHeap* heap) {
       mark(dependent, /*incomplete=*/false);
     }
   }
+
+  observe_us("recovery.analysis_us", phase_start);
+  phase_start = Clock::now();
 
   // --- apply undo records in reverse global order ---
   std::vector<UndoRecord> undo;
@@ -220,6 +253,11 @@ StatusOr<RecoveryStats> RecoverAtlas(pheap::PersistentHeap* heap) {
                 record.size);
     ++stats.stores_undone;
   }
+
+  observe_us("recovery.rollback_us", phase_start);
+  TSP_COUNTER_ADD("recovery.ocses_rolled_back",
+                  stats.ocses_incomplete + stats.ocses_cascaded);
+  TSP_COUNTER_ADD("recovery.stores_undone", stats.stores_undone);
 
   // --- reset the log area for the next session ---
   for (std::uint32_t t = 0; t < area.max_threads(); ++t) {
@@ -268,7 +306,15 @@ std::vector<ShardRecovery> RecoverHeapsParallel(
     for (std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
          i < heaps.size();
          i = next.fetch_add(1, std::memory_order_relaxed)) {
+      [[maybe_unused]] const auto shard_start =
+          std::chrono::steady_clock::now();
       auto recovered = RecoverHeap(heaps[i], registry);
+      TSP_HISTOGRAM_OBSERVE(
+          "recovery.shard_us",
+          static_cast<std::uint64_t>(
+              std::chrono::duration_cast<std::chrono::microseconds>(
+                  std::chrono::steady_clock::now() - shard_start)
+                  .count()));
       if (recovered.ok()) {
         results[i].result = *std::move(recovered);
       } else {

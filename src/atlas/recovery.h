@@ -14,6 +14,7 @@
 #ifndef TSP_ATLAS_RECOVERY_H_
 #define TSP_ATLAS_RECOVERY_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -38,6 +39,14 @@ struct RecoveryStats {
   std::uint64_t ocses_cascaded = 0;
   /// Undo records applied (in reverse global-sequence order).
   std::uint64_t stores_undone = 0;
+
+  /// Identities (PackThreadOcs) of the rolled-back OCSes, split by
+  /// reason, capped at kMaxReportedRollbacks each (the counters above
+  /// stay exact). Lets tools cross-reference recovery's decisions with
+  /// the flight recorder's post-crash event stream (tsp_inspect trace).
+  static constexpr std::size_t kMaxReportedRollbacks = 64;
+  std::vector<std::uint64_t> rolled_back_incomplete;
+  std::vector<std::uint64_t> rolled_back_cascaded;
 
   std::string ToString() const;
 };

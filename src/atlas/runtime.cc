@@ -2,6 +2,9 @@
 
 #include <chrono>
 
+#include "obs/metrics.h"
+#include "obs/trace_layout.h"
+
 namespace tsp::atlas {
 namespace {
 
@@ -30,6 +33,13 @@ AtlasRuntime::AtlasRuntime(pheap::PersistentHeap* heap,
       instance_id_(g_next_instance_id.fetch_add(1)) {}
 
 AtlasRuntime::~AtlasRuntime() {
+#ifndef TSP_OBS_DISABLED
+  // First: a metrics snapshot taken during teardown must not call back
+  // into a half-destroyed runtime.
+  if (metrics_source_id_ != 0) {
+    obs::DefaultRegistry().UnregisterSource(metrics_source_id_);
+  }
+#endif
   pruner_stop_.store(true, std::memory_order_release);
   if (pruner_.joinable()) pruner_.join();
   // Stale TLS bindings stay behind; they are keyed by instance id and
@@ -42,9 +52,16 @@ Status AtlasRuntime::Initialize() {
     return Status::FailedPrecondition(
         "heap needs recovery; run RecoverAtlas before Initialize");
   }
-  if (!AtlasArea::Validate(heap_->runtime_area(),
-                           heap_->runtime_area_size())) {
-    if (AtlasArea::Format(heap_->runtime_area(), heap_->runtime_area_size(),
+  // The flight recorder owns the tail of the runtime area; the Atlas log
+  // gets the rest. Validating against the carved size also reformats
+  // clean legacy heaps whose log geometry extended over the (then
+  // nonexistent) trace reservation — safe here because Initialize only
+  // runs on heaps with nothing to roll back.
+  const std::size_t atlas_size =
+      heap_->runtime_area_size() -
+      obs::TraceReservationBytes(heap_->runtime_area_size());
+  if (!AtlasArea::Validate(heap_->runtime_area(), atlas_size)) {
+    if (AtlasArea::Format(heap_->runtime_area(), atlas_size,
                           kDefaultMaxThreads) == 0) {
       return Status::InvalidArgument(
           "runtime area too small for the Atlas log");
@@ -70,6 +87,29 @@ Status AtlasRuntime::Initialize() {
   stability_ = std::make_unique<StabilityManager>(
       area_, area_.max_threads(), [this](void* p) { heap_->Free(p); });
   initialized_ = true;
+#ifndef TSP_OBS_DISABLED
+  metrics_source_id_ = obs::DefaultRegistry().RegisterSource(
+      [this](obs::SnapshotBuilder* builder) {
+        const AtlasRuntimeStats stats = GetStats();
+        builder->AddCounter("atlas.log_entries_appended",
+                            stats.log_entries_appended);
+        builder->AddCounter("atlas.undo_records", stats.undo_records);
+        builder->AddCounter("atlas.dedup_hits", stats.dedup_hits);
+        builder->AddCounter("atlas.ocses_committed", stats.ocses_committed);
+        builder->AddCounter("atlas.fast_path_commits",
+                            stats.fast_path_commits);
+        builder->AddCounter("atlas.published_commits",
+                            stats.published_commits);
+        builder->AddCounter("atlas.deps_recorded", stats.deps_recorded);
+        builder->AddGauge("atlas.pending_unstable",
+                          static_cast<std::int64_t>(stats.pending_unstable));
+        builder->AddCounter("atlas.seq_blocks_leased",
+                            stats.seq_blocks_leased);
+        builder->AddCounter("atlas.seq_resyncs", stats.seq_resyncs);
+        builder->AddCounter("atlas.batched_publishes",
+                            stats.batched_publishes);
+      });
+#endif
   if (policy_.logging_enabled() && options_.prune_interval_us > 0) {
     pruner_ = std::thread([this] { PrunerMain(); });
   }
@@ -144,6 +184,12 @@ void AtlasRuntime::UnregisterCurrentThread() {
     area_.slot(thread->thread_id())->in_use.store(0,
                                                   std::memory_order_release);
     tls_bindings.erase(it);
+    // Release the thread's trace ring last: the cache retirement above
+    // already stopped the allocator writing to it, and the AtlasThread
+    // emits nothing once unregistered.
+    if (heap_->recorder() != nullptr) {
+      heap_->recorder()->ReleaseCurrentThread();
+    }
     return;
   }
 }
@@ -151,7 +197,10 @@ void AtlasRuntime::UnregisterCurrentThread() {
 AtlasThread::AtlasThread(AtlasRuntime* runtime, std::uint16_t thread_id)
     : runtime_(runtime),
       slot_(runtime->area().slot(thread_id)),
-      thread_id_(thread_id) {}
+      thread_id_(thread_id) {
+  obs::Recorder* recorder = runtime->heap()->recorder();
+  if (recorder != nullptr) trace_ = recorder->writer();
+}
 
 void AtlasThread::StageOldValue(const void* addr, std::uint8_t size) {
   const std::uint64_t offset = runtime_->heap()->region()->ToOffset(addr);
@@ -197,6 +246,8 @@ std::uint64_t AtlasThread::IssueSeq() {
     seq_next_ = runtime_->LeaseSeqBlock();
     seq_limit_ = seq_next_ + runtime_->seq_block_size();
     ++stats_.seq_blocks_leased;
+    TSP_TRACE_EVENT(trace_, obs::EventCode::kSeqBlockLease, seq_next_,
+                    runtime_->seq_block_size());
   }
   // seq_next_ > seq_frontier_ here (a fresh lease starts past every
   // stamp ever issued from the shared counter; OnAcquire discards any
@@ -214,6 +265,8 @@ void AtlasThread::OnAcquire(PLockWord* lock, std::uint32_t lock_id) {
     logged_addresses_.NewEpoch();
     current_deps_.clear();
     current_ocs_begin_tail_ = slot_->tail.load(std::memory_order_relaxed);
+    TSP_TRACE_EVENT(trace_, obs::EventCode::kOcsBegin,
+                    PackThreadOcs(thread_id_, current_ocs_), 0, lock_id);
   }
   // Lamport resync: adopt the previous releaser's stamp frontier. If it
   // overtook our lease, discard the lease's remainder so the next stamp
@@ -223,10 +276,13 @@ void AtlasThread::OnAcquire(PLockWord* lock, std::uint32_t lock_id) {
   const std::uint64_t observed =
       lock->release_seq.load(std::memory_order_acquire);
   if (observed > seq_frontier_) {
+    const std::uint64_t previous = seq_frontier_;
     seq_frontier_ = observed;
     if (seq_next_ != seq_limit_ && seq_next_ <= seq_frontier_) {
       seq_next_ = seq_limit_;  // spent; IssueSeq re-leases
       ++stats_.seq_resyncs;
+      TSP_TRACE_EVENT(trace_, obs::EventCode::kSeqResync, observed, previous,
+                      lock_id);
     }
   }
   const std::uint64_t dep = lock->last_release.load(std::memory_order_acquire);
@@ -273,8 +329,14 @@ void AtlasThread::OnRelease(PLockWord* lock, std::uint32_t lock_id) {
       slot_->head.store(slot_->tail.load(std::memory_order_relaxed),
                         std::memory_order_release);
       ++stats_.fast_path_commits;
+      TSP_TRACE_EVENT(trace_, obs::EventCode::kOcsCommit,
+                      PackThreadOcs(thread_id_, current_ocs_), 0,
+                      /*aux=*/1);  // fast-path commit
     } else {
       ++stats_.published_commits;
+      TSP_TRACE_EVENT(trace_, obs::EventCode::kOcsCommit,
+                      PackThreadOcs(thread_id_, current_ocs_), 0,
+                      /*aux=*/0);  // published to the pruner
       runtime_->stability()->Publish(
           thread_id_,
           CommittedOcs{current_ocs_,
@@ -339,7 +401,11 @@ void AtlasThread::PublishStaged(bool ordered) {
   staged_ = 0;
   const std::uint64_t first = slot_->tail.load(std::memory_order_relaxed);
   stats_.log_entries_appended += count;
-  if (count > 1) ++stats_.batched_publishes;
+  if (count > 1) {
+    ++stats_.batched_publishes;
+    TSP_TRACE_EVENT(trace_, obs::EventCode::kLogBatchPublish,
+                    PackThreadOcs(thread_id_, current_ocs_), count);
+  }
   // Publish: recovery only trusts entries below tail, so every staged
   // entry is complete before any of them becomes visible.
   slot_->tail.store(first + count, std::memory_order_release);

@@ -163,6 +163,10 @@ class AtlasThread {
 
   AtlasRuntime* runtime_;
   ThreadLogHeader* slot_;
+  /// Flight-recorder handle (null when tracing is off). Bound once at
+  /// registration; OCS begin/commit plus the cold lease/resync/batch
+  /// branches are the only traced sites on the logging path.
+  obs::TraceWriter* trace_ = nullptr;
   std::uint16_t thread_id_;
   int depth_ = 0;
   /// Entries written past tail_ but not yet published.
@@ -278,6 +282,9 @@ class AtlasRuntime {
   std::unique_ptr<StabilityManager> stability_;
   std::atomic<bool> pruner_stop_{false};
   std::thread pruner_;
+  /// Metrics pull-source registration with obs::DefaultRegistry (0 when
+  /// not registered); folds GetStats into snapshots on demand.
+  std::uint64_t metrics_source_id_ = 0;
 
   std::mutex registry_mutex_;
   std::vector<std::unique_ptr<AtlasThread>> threads_;

@@ -1,14 +1,49 @@
 #include "common/logging.h"
 
+#include <strings.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 namespace tsp {
+namespace {
 
-LogSeverity& MinLogSeverity() {
-  static LogSeverity severity = LogSeverity::kWarning;
+std::atomic<LogSeverity>& SeverityFlag() {
+  static std::atomic<LogSeverity> severity{[] {
+    LogSeverity initial = LogSeverity::kWarning;
+    ParseLogSeverity(std::getenv("TSP_LOG_LEVEL"), &initial);
+    return initial;
+  }()};
   return severity;
+}
+
+}  // namespace
+
+bool ParseLogSeverity(const char* text, LogSeverity* out) {
+  if (text == nullptr) return false;
+  if (strcasecmp(text, "info") == 0 || strcmp(text, "0") == 0) {
+    *out = LogSeverity::kInfo;
+  } else if (strcasecmp(text, "warning") == 0 || strcmp(text, "1") == 0) {
+    *out = LogSeverity::kWarning;
+  } else if (strcasecmp(text, "error") == 0 || strcmp(text, "2") == 0) {
+    *out = LogSeverity::kError;
+  } else if (strcasecmp(text, "fatal") == 0 || strcmp(text, "3") == 0) {
+    *out = LogSeverity::kFatal;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+LogSeverity MinLogSeverity() {
+  return SeverityFlag().load(std::memory_order_relaxed);
+}
+
+void SetMinLogSeverity(LogSeverity severity) {
+  SeverityFlag().store(severity, std::memory_order_relaxed);
 }
 
 namespace internal {

@@ -14,10 +14,16 @@ namespace tsp {
 
 enum class LogSeverity { kInfo = 0, kWarning = 1, kError = 2, kFatal = 3 };
 
-/// Minimum severity that is actually emitted; default WARNING so library
-/// code is quiet in tests and benchmarks. Not thread-safe to mutate while
-/// logging concurrently; set it at startup.
-LogSeverity& MinLogSeverity();
+/// Minimum severity that is actually emitted. Defaults to WARNING so
+/// library code is quiet in tests and benchmarks; overridable at process
+/// start with TSP_LOG_LEVEL=info|warning|error|fatal (or 0-3). Backed by
+/// an std::atomic, so tests and tools may flip it while other threads log.
+LogSeverity MinLogSeverity();
+void SetMinLogSeverity(LogSeverity severity);
+
+/// Parses a TSP_LOG_LEVEL-style spelling ("info", "WARNING", "2", ...).
+/// Returns false (leaving `out` untouched) for unrecognized input.
+bool ParseLogSeverity(const char* text, LogSeverity* out);
 
 namespace internal {
 

@@ -1,7 +1,19 @@
 #include "domain/persistence_domain.h"
 
+#include <chrono>
+
+#include "obs/metrics.h"
+
 namespace tsp::domain {
 namespace {
+
+void AppendCapped(const std::vector<std::uint64_t>& from,
+                  std::vector<std::uint64_t>* to) {
+  for (const std::uint64_t id : from) {
+    if (to->size() >= atlas::RecoveryStats::kMaxReportedRollbacks) return;
+    to->push_back(id);
+  }
+}
 
 void AccumulateRecovery(const atlas::FullRecoveryResult& shard,
                         atlas::FullRecoveryResult* total) {
@@ -12,6 +24,10 @@ void AccumulateRecovery(const atlas::FullRecoveryResult& shard,
   total->atlas.ocses_incomplete += shard.atlas.ocses_incomplete;
   total->atlas.ocses_cascaded += shard.atlas.ocses_cascaded;
   total->atlas.stores_undone += shard.atlas.stores_undone;
+  AppendCapped(shard.atlas.rolled_back_incomplete,
+               &total->atlas.rolled_back_incomplete);
+  AppendCapped(shard.atlas.rolled_back_cascaded,
+               &total->atlas.rolled_back_cascaded);
   total->gc.live_objects += shard.gc.live_objects;
   total->gc.live_bytes += shard.gc.live_bytes;
   total->gc.free_blocks += shard.gc.free_blocks;
@@ -66,13 +82,23 @@ StatusOr<std::unique_ptr<PersistenceDomain>> PersistenceDomain::Open(
     domain->heaps_.push_back(std::move(heap));
   }
 
+  TSP_COUNTER_INC("domain.opens");
   if (any_needs_recovery) {
+    TSP_COUNTER_INC("domain.recoveries");
+    [[maybe_unused]] const auto recovery_start =
+        std::chrono::steady_clock::now();
     std::vector<pheap::PersistentHeap*> raw;
     raw.reserve(domain->heaps_.size());
     for (const auto& heap : domain->heaps_) raw.push_back(heap.get());
     std::vector<atlas::ShardRecovery> recoveries =
         atlas::RecoverHeapsParallel(raw, *registry,
                                     options.recovery_threads);
+    TSP_HISTOGRAM_OBSERVE(
+        "domain.recovery_us",
+        static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                std::chrono::steady_clock::now() - recovery_start)
+                .count()));
     for (std::size_t i = 0; i < recoveries.size(); ++i) {
       if (!recoveries[i].status.ok()) {
         return Status(recoveries[i].status.code(),

@@ -9,12 +9,53 @@
 #include <chrono>
 #include <thread>
 
+#include "atlas/log_layout.h"
 #include "common/logging.h"
 #include "common/random.h"
+#include "obs/metrics.h"
+#include "obs/trace_layout.h"
+#include "obs/trace_reader.h"
+#include "pheap/heap.h"
 #include "pheap/sanitizer.h"
 
 namespace tsp::faultsim {
 namespace {
+
+/// Decodes the tail of the crashed session's flight recorder for one
+/// shard file. Must run against a read-only mapping BEFORE the session is
+/// reopened: reopening runs recovery and restarts the workload, whose
+/// threads reclaim trace rings. Empty string when the heap has no
+/// readable recorder (legacy layout, tracing off, tiny runtime area).
+std::string TraceTailSummary(const std::string& path,
+                             std::size_t max_events) {
+  auto heap = pheap::PersistentHeap::OpenReadOnly(path);
+  if (!heap.ok()) return "";
+  const obs::TraceReader reader((*heap)->runtime_area(),
+                                (*heap)->runtime_area_size());
+  if (!reader.valid()) return "";
+  const std::vector<obs::TraceEvent> merged = reader.MergedEvents();
+  if (merged.empty()) return "";
+  std::string out = "recorder tail of " + path + " (" +
+                    std::to_string(merged.size()) + " events";
+  for (const obs::OpenOcsSpan& span : reader.OpenOcsSpans()) {
+    out += "; open OCS thread=" +
+           std::to_string(atlas::UnpackThread(span.packed_ocs)) +
+           " ocs=" + std::to_string(atlas::UnpackOcs(span.packed_ocs)) +
+           " lock=" + std::to_string(span.lock_id);
+  }
+  out += "):";
+  const std::size_t first =
+      merged.size() > max_events ? merged.size() - max_events : 0;
+  for (std::size_t i = first; i < merged.size(); ++i) {
+    const obs::TraceEvent& e = merged[i];
+    out += "\n      [ring " + std::to_string(e.thread_id) + "] " +
+           obs::EventCodeName(static_cast<obs::EventCode>(e.code)) +
+           " arg0=" + std::to_string(e.arg0) +
+           " arg1=" + std::to_string(e.arg1) +
+           " aux=" + std::to_string(e.aux);
+  }
+  return out;
+}
 
 // Entry point of the forked worker: open the heap (recovering if the
 // previous cycle crashed it), then hammer the map until killed.
@@ -91,6 +132,22 @@ CrashCycleReport RunCrashCycles(const CrashCycleOptions& options) {
     int status = 0;
     waitpid(pid, &status, 0);
     ++report.cycles_run;
+    TSP_COUNTER_INC("faultsim.cycles");
+
+    // Snapshot the flight recorder of every shard now, before the
+    // reopen below recovers the heap and its threads recycle the rings.
+    std::string trace_tail;
+    for (const std::string& path :
+         workload::MapSession::ShardPaths(options.session)) {
+      const std::string shard_tail = TraceTailSummary(path, 16);
+      if (shard_tail.empty()) continue;
+      if (!trace_tail.empty()) trace_tail += "\n    ";
+      trace_tail += shard_tail;
+    }
+    auto with_trace = [&trace_tail](std::string error) {
+      if (!trace_tail.empty()) error += "\n    " + trace_tail;
+      return error;
+    };
     if (WIFEXITED(status)) {
       // The worker exited before the kill (e.g., setup failure).
       report.errors.push_back("cycle " + std::to_string(cycle) +
@@ -103,14 +160,15 @@ CrashCycleReport RunCrashCycles(const CrashCycleOptions& options) {
     // Recover in-process and verify.
     auto session = workload::MapSession::OpenOrCreate(options.session);
     if (!session.ok()) {
-      report.errors.push_back("cycle " + std::to_string(cycle) +
-                              ": recovery open failed: " +
-                              session.status().ToString());
+      report.errors.push_back(with_trace(
+          "cycle " + std::to_string(cycle) +
+          ": recovery open failed: " + session.status().ToString()));
       continue;
     }
     if (!(*session)->recovered()) {
-      report.errors.push_back("cycle " + std::to_string(cycle) +
-                              ": heap unexpectedly clean after SIGKILL");
+      report.errors.push_back(with_trace(
+          "cycle " + std::to_string(cycle) +
+          ": heap unexpectedly clean after SIGKILL"));
     }
     const atlas::RecoveryStats& rec = (*session)->recovery_stats();
     if (rec.ocses_incomplete + rec.ocses_cascaded > 0) {
@@ -127,8 +185,8 @@ CrashCycleReport RunCrashCycles(const CrashCycleOptions& options) {
         workload::CheckMapInvariants(*(*session)->map(),
                                      options.workload.threads);
     if (!invariants.ok) {
-      report.errors.push_back("cycle " + std::to_string(cycle) + ": " +
-                              invariants.ToString());
+      report.errors.push_back(with_trace("cycle " + std::to_string(cycle) +
+                                         ": " + invariants.ToString()));
     } else {
       report.final_completed_iterations += invariants.completed_iterations;
     }

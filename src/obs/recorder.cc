@@ -1,0 +1,132 @@
+// Copyright 2026 The TSP Authors.
+
+#include "obs/recorder.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+namespace tsp {
+namespace obs {
+namespace {
+
+std::atomic<bool> g_trace_enabled{[] {
+  const char* env = std::getenv("TSP_TRACE");
+  return env == nullptr || std::strcmp(env, "0") != 0;
+}()};
+
+std::atomic<std::uint64_t> g_next_instance_id{1};
+
+/// Per-thread cache of (recorder instance -> writer). Mirrors the Atlas
+/// runtime's TLS binding: instance ids are never reused, so a stale entry
+/// can never be confused with a live recorder.
+struct TlsBinding {
+  std::uint64_t instance_id;
+  TraceWriter* writer;
+};
+thread_local std::vector<TlsBinding> tls_bindings;
+
+}  // namespace
+
+bool TraceEnabled() { return g_trace_enabled.load(std::memory_order_relaxed); }
+
+void SetTraceEnabled(bool enabled) {
+  g_trace_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+std::unique_ptr<Recorder> Recorder::Attach(void* runtime_area,
+                                           std::size_t runtime_area_size,
+                                           const AttachOptions& options) {
+#ifdef TSP_OBS_DISABLED
+  (void)runtime_area;
+  (void)runtime_area_size;
+  (void)options;
+  return nullptr;
+#else
+  if (!TraceEnabled() || runtime_area == nullptr) return nullptr;
+  const std::size_t reservation = TraceReservationBytes(runtime_area_size);
+  if (reservation == 0) return nullptr;
+  void* base =
+      static_cast<std::uint8_t*>(runtime_area) + runtime_area_size -
+      reservation;
+  if (!TraceArea::Validate(base, reservation)) {
+    // Legacy heap (formatted before the trace reservation existed) that is
+    // mid-recovery: do not write anything, run without a recorder.
+    if (!options.allow_format) return nullptr;
+    if (TraceArea::Format(base, reservation, kDefaultMaxTraceThreads) == 0) {
+      return nullptr;
+    }
+  }
+  TraceArea area(base, reservation);
+  // Slot claims belong to threads of the previous (possibly dead) session;
+  // clear them so this session's threads can claim rings. Ring contents and
+  // head/tail survive untouched until a new thread actually claims a slot,
+  // so post-crash readers that run before the workload restarts still see
+  // the crashed session's events.
+  for (std::uint32_t i = 0; i < area.header()->max_threads; ++i) {
+    area.ring(i)->in_use.store(0, std::memory_order_relaxed);
+  }
+  return std::unique_ptr<Recorder>(
+      new Recorder(area, options.generation));
+#endif
+}
+
+Recorder::Recorder(TraceArea area, std::uint64_t generation)
+    : area_(area),
+      generation_(generation),
+      instance_id_(
+          g_next_instance_id.fetch_add(1, std::memory_order_relaxed)) {}
+
+Recorder::~Recorder() = default;
+
+TraceWriter* Recorder::writer() {
+  for (const TlsBinding& binding : tls_bindings) {
+    if (binding.instance_id == instance_id_) return binding.writer;
+  }
+  TraceAreaHeader* header = area_.header();
+  for (std::uint32_t i = 0; i < header->max_threads; ++i) {
+    TraceRingHeader* slot = area_.ring(i);
+    std::uint32_t expected = 0;
+    if (!slot->in_use.compare_exchange_strong(expected, 1,
+                                              std::memory_order_acq_rel)) {
+      continue;
+    }
+    // Fresh claim: recycle the ring. This is the only place old events are
+    // discarded, and it only happens once a new live thread needs the slot.
+    slot->head.store(0, std::memory_order_relaxed);
+    slot->tail.store(0, std::memory_order_relaxed);
+    slot->generation = generation_;
+    auto writer = std::make_unique<TraceWriter>(slot, area_.events(i),
+                                               header->events_per_thread);
+    TraceWriter* raw = writer.get();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      writers_.push_back(std::move(writer));
+    }
+    tls_bindings.push_back(TlsBinding{instance_id_, raw});
+    return raw;
+  }
+  return nullptr;  // all rings claimed; caller runs untraced
+}
+
+void Recorder::ReleaseCurrentThread() {
+  for (auto it = tls_bindings.begin(); it != tls_bindings.end(); ++it) {
+    if (it->instance_id != instance_id_) continue;
+    TraceWriter* writer = it->writer;
+    tls_bindings.erase(it);
+    area_.ring(writer->ring_id())->in_use.store(0, std::memory_order_release);
+    return;
+  }
+}
+
+std::uint64_t Recorder::EventsRecorded() const {
+  const TraceAreaHeader* header = area_.header();
+  std::uint64_t total = 0;
+  for (std::uint32_t i = 0; i < header->max_threads; ++i) {
+    total += area_.ring(i)->tail.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+}  // namespace obs
+}  // namespace tsp

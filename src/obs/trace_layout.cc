@@ -1,0 +1,80 @@
+// Copyright 2026 The TSP Authors.
+
+#include "obs/trace_layout.h"
+
+#include <cstring>
+
+namespace tsp {
+namespace obs {
+
+const char* EventCodeName(EventCode code) {
+  switch (code) {
+    case EventCode::kNone:
+      return "none";
+    case EventCode::kOcsBegin:
+      return "ocs_begin";
+    case EventCode::kOcsCommit:
+      return "ocs_commit";
+    case EventCode::kSeqBlockLease:
+      return "seq_block_lease";
+    case EventCode::kSeqResync:
+      return "seq_resync";
+    case EventCode::kLogBatchPublish:
+      return "log_batch_publish";
+    case EventCode::kMagazineRefill:
+      return "magazine_refill";
+    case EventCode::kMagazineDrain:
+      return "magazine_drain";
+    case EventCode::kSessionOpen:
+      return "session_open";
+  }
+  return "unknown";
+}
+
+std::uint64_t TraceArea::Format(void* base, std::size_t size,
+                                std::uint32_t max_threads) {
+  const std::uint64_t rings_offset =
+      (sizeof(TraceAreaHeader) + kCacheLineSize - 1) / kCacheLineSize *
+      kCacheLineSize;
+  const std::uint64_t events_offset =
+      rings_offset + static_cast<std::uint64_t>(max_threads) *
+                         sizeof(TraceRingHeader);
+  if (events_offset + sizeof(TraceEvent) * max_threads > size) return 0;
+  const std::uint64_t events_per_thread =
+      (size - events_offset) / (sizeof(TraceEvent) * max_threads);
+
+  std::memset(base, 0, events_offset);
+  auto* header = static_cast<TraceAreaHeader*>(base);
+  header->version = kTraceVersion;
+  header->max_threads = max_threads;
+  header->events_per_thread = events_per_thread;
+  header->rings_offset = rings_offset;
+  header->events_offset = events_offset;
+  TraceArea area(base, size);
+  for (std::uint32_t i = 0; i < max_threads; ++i) {
+    area.ring(i)->ring_id = i;
+  }
+  // Magic last: a crash mid-format leaves the area invalid, not torn.
+  header->magic = kTraceMagic;
+  return events_per_thread;
+}
+
+bool TraceArea::Validate(const void* base, std::size_t size) {
+  if (base == nullptr || size < sizeof(TraceAreaHeader)) return false;
+  const auto* header = static_cast<const TraceAreaHeader*>(base);
+  if (header->magic != kTraceMagic || header->version != kTraceVersion) {
+    return false;
+  }
+  if (header->max_threads == 0 || header->events_per_thread == 0) return false;
+  const std::uint64_t needed =
+      header->events_offset + header->events_per_thread *
+                                  header->max_threads * sizeof(TraceEvent);
+  return header->rings_offset >= sizeof(TraceAreaHeader) &&
+         header->events_offset >=
+             header->rings_offset +
+                 header->max_threads * sizeof(TraceRingHeader) &&
+         needed <= size;
+}
+
+}  // namespace obs
+}  // namespace tsp

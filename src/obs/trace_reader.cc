@@ -1,0 +1,86 @@
+// Copyright 2026 The TSP Authors.
+
+#include "obs/trace_reader.h"
+
+#include <algorithm>
+
+namespace tsp {
+namespace obs {
+
+TraceReader::TraceReader(const void* runtime_area,
+                         std::size_t runtime_area_size) {
+  const std::size_t reservation = TraceReservationBytes(runtime_area_size);
+  if (runtime_area == nullptr || reservation == 0) return;
+  const void* base = static_cast<const std::uint8_t*>(runtime_area) +
+                     runtime_area_size - reservation;
+  if (!TraceArea::Validate(base, reservation)) return;
+  area_ = TraceArea(const_cast<void*>(base), reservation);
+  valid_ = true;
+}
+
+std::vector<TraceEvent> TraceReader::RingEvents(
+    std::uint32_t ring_index) const {
+  std::vector<TraceEvent> out;
+  if (!valid_ || ring_index >= area_.header()->max_threads) return out;
+  const TraceRingHeader* slot = area_.ring(ring_index);
+  const std::uint64_t capacity = area_.header()->events_per_thread;
+  const std::uint64_t tail = slot->tail.load(std::memory_order_acquire);
+  std::uint64_t head = slot->head.load(std::memory_order_relaxed);
+  // Defensive clamps: trust nothing a crashed writer may have left behind
+  // beyond the publication protocol.
+  if (tail < head) return out;
+  if (tail - head > capacity) head = tail - capacity;
+  const TraceEvent* ring = area_.events(ring_index);
+  out.reserve(tail - head);
+  for (std::uint64_t pos = head; pos < tail; ++pos) {
+    out.push_back(ring[pos % capacity]);
+  }
+  return out;
+}
+
+std::vector<TraceEvent> TraceReader::MergedEvents() const {
+  std::vector<TraceEvent> merged;
+  if (!valid_) return merged;
+  for (std::uint32_t i = 0; i < area_.header()->max_threads; ++i) {
+    std::vector<TraceEvent> ring = RingEvents(i);
+    merged.insert(merged.end(), ring.begin(), ring.end());
+  }
+  std::stable_sort(merged.begin(), merged.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     return a.stamp < b.stamp;
+                   });
+  return merged;
+}
+
+std::vector<OpenOcsSpan> TraceReader::OpenOcsSpans() const {
+  std::vector<OpenOcsSpan> spans;
+  if (!valid_) return spans;
+  for (std::uint32_t i = 0; i < area_.header()->max_threads; ++i) {
+    const std::vector<TraceEvent> events = RingEvents(i);
+    const TraceEvent* last_ocs = nullptr;
+    for (const TraceEvent& e : events) {
+      const auto code = static_cast<EventCode>(e.code);
+      if (code == EventCode::kOcsBegin || code == EventCode::kOcsCommit) {
+        last_ocs = &e;
+      }
+    }
+    if (last_ocs != nullptr &&
+        static_cast<EventCode>(last_ocs->code) == EventCode::kOcsBegin) {
+      spans.push_back(OpenOcsSpan{i, last_ocs->arg0, last_ocs->stamp,
+                                  last_ocs->aux});
+    }
+  }
+  return spans;
+}
+
+std::uint64_t TraceReader::EventsRecorded() const {
+  if (!valid_) return 0;
+  std::uint64_t total = 0;
+  for (std::uint32_t i = 0; i < area_.header()->max_threads; ++i) {
+    total += area_.ring(i)->tail.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+}  // namespace obs
+}  // namespace tsp

@@ -7,6 +7,8 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "obs/metrics.h"
+#include "obs/recorder.h"
 #include "pheap/sanitizer.h"
 
 namespace tsp::pheap {
@@ -183,12 +185,16 @@ class ThreadCache {
     if (got > 0) {
       magazine.count = static_cast<std::uint32_t>(got);
       Bump(refill_batches_);
+      TSP_TRACE_EVENT(trace_, obs::EventCode::kMagazineRefill,
+                      static_cast<std::uint64_t>(size_class), got);
       return;
     }
     got = allocator_->BatchCarve(block_size, want, magazine.slots);
     if (got > 0) {
       magazine.count = static_cast<std::uint32_t>(got);
       Bump(carve_batches_);
+      TSP_TRACE_EVENT(trace_, obs::EventCode::kMagazineRefill,
+                      static_cast<std::uint64_t>(size_class), got);
     }
   }
 
@@ -260,6 +266,8 @@ class ThreadCache {
     std::memmove(magazine.slots, magazine.slots + n,
                  magazine.count * sizeof(magazine.slots[0]));
     Bump(drain_batches_);
+    TSP_TRACE_EVENT(trace_, obs::EventCode::kMagazineDrain,
+                    static_cast<std::uint64_t>(size_class), n);
   }
 
   /// Orderly retirement: every parked block goes back to the shared
@@ -293,6 +301,10 @@ class ThreadCache {
   std::uint32_t slot_;
   std::uint16_t owner_tag_;
   std::uint64_t epoch_;
+  /// Flight-recorder handle for this thread (null when tracing is off).
+  /// Bound at registration; refill/drain are the only traced paths —
+  /// per-block events would blow the ring and the overhead budget.
+  obs::TraceWriter* trace_ = nullptr;
   Magazine mags_[Allocator::kNumMagazineClasses];
 
   // Stat counters: written by the owning thread, read concurrently by
@@ -752,6 +764,7 @@ ThreadCache* Allocator::RegisterThreadCache() {
     // from the previous owner may linger as inbox state.
     DrainRemoteSlot(slot);
     auto cache = std::make_unique<ThreadCache>(this, slot);
+    if (recorder_ != nullptr) cache->trace_ = recorder_->writer();
     ThreadCache* raw = cache.get();
     caches_.push_back(std::move(cache));
     return raw;

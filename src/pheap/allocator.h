@@ -44,6 +44,10 @@
 #include "pheap/layout.h"
 #include "pheap/region.h"
 
+namespace tsp::obs {
+class Recorder;
+}  // namespace tsp::obs
+
 namespace tsp::pheap {
 
 class ThreadCache;
@@ -195,6 +199,11 @@ class Allocator {
 
   MappedRegion* region() const { return region_; }
 
+  /// Flight recorder of the owning heap; thread caches registered after
+  /// this call trace their magazine refills/drains into it. May be null
+  /// (tracing off). Set once right after construction, before mutators.
+  void set_recorder(obs::Recorder* recorder) { recorder_ = recorder; }
+
   /// Epoch observed by thread caches; bumped by ResetMetadata.
   std::uint64_t cache_epoch() const {
     return cache_epoch_.load(std::memory_order_relaxed);
@@ -253,6 +262,7 @@ class Allocator {
 
   MappedRegion* region_;
   RegionHeader* header_;
+  obs::Recorder* recorder_ = nullptr;
   const std::uint64_t instance_id_;
   bool magazines_enabled_;
   std::uint32_t magazine_capacity_;

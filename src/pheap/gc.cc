@@ -1,9 +1,11 @@
 #include "pheap/gc.h"
 
 #include <algorithm>
+#include <chrono>
 #include <vector>
 
 #include "common/logging.h"
+#include "obs/metrics.h"
 
 namespace tsp::pheap {
 namespace {
@@ -43,6 +45,9 @@ GcStats RunMarkSweepGc(Allocator* allocator, const TypeRegistry& registry) {
   MappedRegion* region = allocator->region();
   RegionHeader* rh = region->header();
   GcStats stats;
+
+  TSP_COUNTER_INC("gc.runs");
+  [[maybe_unused]] const auto mark_start = std::chrono::steady_clock::now();
 
   // --- mark ---
   std::vector<const void*> pending;
@@ -101,6 +106,12 @@ GcStats RunMarkSweepGc(Allocator* allocator, const TypeRegistry& registry) {
   }
 
   // --- sweep: rebuild allocator metadata from the complement ---
+  [[maybe_unused]] const auto sweep_start = std::chrono::steady_clock::now();
+  TSP_HISTOGRAM_OBSERVE(
+      "gc.mark_us", static_cast<std::uint64_t>(
+                        std::chrono::duration_cast<std::chrono::microseconds>(
+                            sweep_start - mark_start)
+                            .count()));
   std::sort(live.begin(), live.end(),
             [](const LiveBlock& a, const LiveBlock& b) {
               return a.offset < b.offset;
@@ -153,6 +164,11 @@ GcStats RunMarkSweepGc(Allocator* allocator, const TypeRegistry& registry) {
   // to the bump region implicitly (new_bump == cursor), so there is no
   // trailing gap to carve.
 
+  TSP_HISTOGRAM_OBSERVE(
+      "gc.sweep_us", static_cast<std::uint64_t>(
+                         std::chrono::duration_cast<std::chrono::microseconds>(
+                             std::chrono::steady_clock::now() - sweep_start)
+                             .count()));
   return stats;
 }
 

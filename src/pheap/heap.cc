@@ -2,7 +2,52 @@
 
 #include <utility>
 
+#include "obs/metrics.h"
+
 namespace tsp::pheap {
+
+PersistentHeap::PersistentHeap(std::unique_ptr<MappedRegion> region)
+    : region_(std::move(region)), allocator_(region_.get()) {
+  if (!region_->read_only()) {
+    obs::Recorder::AttachOptions options;
+    options.generation = region_->header()->generation;
+    // Never format over a crashed heap's runtime area: a legacy layout
+    // without a trace reservation must stay byte-identical for recovery.
+    options.allow_format = !needs_recovery();
+    recorder_ = obs::Recorder::Attach(runtime_area(), runtime_area_size(),
+                                      options);
+    allocator_.set_recorder(recorder_.get());
+  }
+#ifndef TSP_OBS_DISABLED
+  // Pull source: folds the allocator's per-thread stats into registry
+  // snapshots without adding shared counters to the allocation fast path.
+  metrics_source_id_ = obs::DefaultRegistry().RegisterSource(
+      [this](obs::SnapshotBuilder* builder) {
+        const AllocatorStats stats = allocator_.GetStats();
+        builder->AddCounter("alloc.magazine_allocs", stats.magazine_allocs);
+        builder->AddCounter("alloc.magazine_frees", stats.magazine_frees);
+        builder->AddCounter("alloc.shared_allocs", stats.shared_allocs);
+        builder->AddCounter("alloc.shared_frees", stats.shared_frees);
+        builder->AddCounter("alloc.refill_batches", stats.refill_batches);
+        builder->AddCounter("alloc.carve_batches", stats.carve_batches);
+        builder->AddCounter("alloc.drain_batches", stats.drain_batches);
+        builder->AddCounter("alloc.remote_frees", stats.remote_frees);
+        builder->AddCounter("alloc.remote_reclaims", stats.remote_reclaims);
+        builder->AddCounter("alloc.magazine_discards",
+                            stats.magazine_discards);
+        builder->AddCounter("alloc.batch_pop_retries",
+                            stats.batch_pop_retries);
+      });
+#endif
+}
+
+PersistentHeap::~PersistentHeap() {
+#ifndef TSP_OBS_DISABLED
+  if (metrics_source_id_ != 0) {
+    obs::DefaultRegistry().UnregisterSource(metrics_source_id_);
+  }
+#endif
+}
 
 StatusOr<std::unique_ptr<PersistentHeap>> PersistentHeap::Create(
     const std::string& path, const RegionOptions& options) {

@@ -16,6 +16,7 @@
 #include <utility>
 
 #include "common/status.h"
+#include "obs/recorder.h"
 #include "pheap/allocator.h"
 #include "pheap/gc.h"
 #include "pheap/region.h"
@@ -146,12 +147,20 @@ class PersistentHeap {
   const Allocator* allocator() const { return &allocator_; }
   AllocatorStats GetAllocatorStats() const { return allocator_.GetStats(); }
 
+  /// The heap's flight recorder, or nullptr when tracing is off (compile-
+  /// or run-time), the runtime area has no trace reservation, or the
+  /// mapping is read-only. Use obs::TraceReader for post-crash decoding.
+  obs::Recorder* recorder() { return recorder_.get(); }
+
+  ~PersistentHeap();
+
  private:
-  explicit PersistentHeap(std::unique_ptr<MappedRegion> region)
-      : region_(std::move(region)), allocator_(region_.get()) {}
+  explicit PersistentHeap(std::unique_ptr<MappedRegion> region);
 
   std::unique_ptr<MappedRegion> region_;
   Allocator allocator_;
+  std::unique_ptr<obs::Recorder> recorder_;
+  std::uint64_t metrics_source_id_ = 0;
 };
 
 }  // namespace tsp::pheap

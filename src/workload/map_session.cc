@@ -6,6 +6,14 @@
 namespace tsp::workload {
 namespace {
 
+void AppendCapped(const std::vector<std::uint64_t>& from,
+                  std::vector<std::uint64_t>* to) {
+  for (const std::uint64_t id : from) {
+    if (to->size() >= atlas::RecoveryStats::kMaxReportedRollbacks) return;
+    to->push_back(id);
+  }
+}
+
 void AccumulateRecovery(const atlas::FullRecoveryResult& shard,
                         atlas::FullRecoveryResult* total) {
   total->atlas.performed |= shard.atlas.performed;
@@ -15,6 +23,10 @@ void AccumulateRecovery(const atlas::FullRecoveryResult& shard,
   total->atlas.ocses_incomplete += shard.atlas.ocses_incomplete;
   total->atlas.ocses_cascaded += shard.atlas.ocses_cascaded;
   total->atlas.stores_undone += shard.atlas.stores_undone;
+  AppendCapped(shard.atlas.rolled_back_incomplete,
+               &total->atlas.rolled_back_incomplete);
+  AppendCapped(shard.atlas.rolled_back_cascaded,
+               &total->atlas.rolled_back_cascaded);
   total->gc.live_objects += shard.gc.live_objects;
   total->gc.live_bytes += shard.gc.live_bytes;
   total->gc.free_blocks += shard.gc.free_blocks;

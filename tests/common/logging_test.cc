@@ -1,0 +1,53 @@
+// TSP_LOG severity control: the TSP_LOG_LEVEL parser and the
+// atomic-backed runtime threshold tools flip for verbose diagnostics.
+
+#include "common/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace tsp {
+namespace {
+
+/// Restores the process-wide threshold other tests rely on.
+class LoggingTest : public ::testing::Test {
+ protected:
+  void SetUp() override { saved_ = MinLogSeverity(); }
+  void TearDown() override { SetMinLogSeverity(saved_); }
+  LogSeverity saved_;
+};
+
+TEST_F(LoggingTest, ParseAcceptsNamesAnyCaseAndDigits) {
+  LogSeverity severity;
+  ASSERT_TRUE(ParseLogSeverity("info", &severity));
+  EXPECT_EQ(severity, LogSeverity::kInfo);
+  ASSERT_TRUE(ParseLogSeverity("WARNING", &severity));
+  EXPECT_EQ(severity, LogSeverity::kWarning);
+  ASSERT_TRUE(ParseLogSeverity("Error", &severity));
+  EXPECT_EQ(severity, LogSeverity::kError);
+  ASSERT_TRUE(ParseLogSeverity("fatal", &severity));
+  EXPECT_EQ(severity, LogSeverity::kFatal);
+  ASSERT_TRUE(ParseLogSeverity("0", &severity));
+  EXPECT_EQ(severity, LogSeverity::kInfo);
+  ASSERT_TRUE(ParseLogSeverity("3", &severity));
+  EXPECT_EQ(severity, LogSeverity::kFatal);
+}
+
+TEST_F(LoggingTest, ParseRejectsGarbageWithoutClobberingOut) {
+  LogSeverity severity = LogSeverity::kError;
+  EXPECT_FALSE(ParseLogSeverity("", &severity));
+  EXPECT_FALSE(ParseLogSeverity("verbose", &severity));
+  EXPECT_FALSE(ParseLogSeverity("4", &severity));
+  EXPECT_FALSE(ParseLogSeverity("-1", &severity));
+  EXPECT_FALSE(ParseLogSeverity(nullptr, &severity));
+  EXPECT_EQ(severity, LogSeverity::kError) << "failed parse must not write";
+}
+
+TEST_F(LoggingTest, SetMinLogSeverityRoundTrips) {
+  SetMinLogSeverity(LogSeverity::kInfo);
+  EXPECT_EQ(MinLogSeverity(), LogSeverity::kInfo);
+  SetMinLogSeverity(LogSeverity::kError);
+  EXPECT_EQ(MinLogSeverity(), LogSeverity::kError);
+}
+
+}  // namespace
+}  // namespace tsp

@@ -103,6 +103,31 @@ TEST(TspLintTest, BackendLayerMayMmap) {
   }
 }
 
+TEST(TspLintTest, RawLoggingFixtureIsFlagged) {
+  LintConfig config;
+  config.logging_scope = {"testdata/"};  // pull the fixture into scope
+  report::FindingSink sink(64);
+  LintFile(Testdata("logging_fixture.cc"), {}, config, &sink);
+  std::multiset<int> lines;
+  for (const report::Finding& finding : sink.findings()) {
+    EXPECT_EQ(finding.rule, "raw-logging");
+    EXPECT_EQ(finding.severity, report::Severity::kError);
+    lines.insert(LineOf(finding));
+  }
+  // fprintf, printf, puts, cerr, cout; the annotated fprintf (line 15)
+  // and the snprintf (formatting, not output) must NOT appear.
+  EXPECT_EQ(lines, (std::multiset<int>{9, 10, 11, 12, 13}));
+  EXPECT_EQ(sink.total(), 5u);
+}
+
+// By default the rule only covers the library tree; the same fixture
+// outside a src/ path scans clean.
+TEST(TspLintTest, RawLoggingScopeIsLibraryTreeOnly) {
+  const report::FindingSink sink =
+      LintFixture(Testdata("logging_fixture.cc"));
+  EXPECT_TRUE(sink.empty()) << sink.ToText();
+}
+
 TEST(TspLintTest, NonBlockingMarkerSuppressesRawStore) {
   const report::FindingSink sink =
       LintFixture(Testdata("nonblocking_fixture.cc"));

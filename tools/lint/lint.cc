@@ -188,6 +188,10 @@ const std::regex kLhsStarRe(R"(^\*\s*([A-Za-z_]\w*)\s*$)");
 const std::regex kMemWriteRe(
     R"(\b(?:std::)?(?:memcpy|memset|memmove)\s*\(\s*(?:\(\s*[\w:]+\s*\*\s*\))?\s*&?\s*(?:\(\s*\*\s*)?([A-Za-z_]\w*))");
 
+// \b keeps snprintf/vsnprintf (string formatting, no output) unmatched.
+const std::regex kRawLogRe(
+    R"(\b(?:std::)?(fprintf|vfprintf|printf|vprintf|fputs|puts|fwrite)\s*\(|\bstd::(cerr|cout|clog)\b)");
+
 const std::regex kLockCallRe(R"([\w\)\]]\s*(?:->|\.)\s*lock\s*\()");
 const std::regex kUnlockCallRe(R"([\w\)\]]\s*(?:->|\.)\s*unlock\s*\()");
 const std::regex kFlushCallRe(R"(\b(FlushLine|StoreFence)\s*\()");
@@ -277,6 +281,15 @@ void LintFile(const std::string& path, const std::set<std::string>& types,
   }();
   const bool mmap_whitelisted = [&] {
     for (const std::string& needle : config.mmap_whitelist) {
+      if (PathContains(path, needle)) return true;
+    }
+    return false;
+  }();
+  const bool logging_checked = [&] {
+    for (const std::string& needle : config.logging_whitelist) {
+      if (PathContains(path, needle)) return false;
+    }
+    for (const std::string& needle : config.logging_scope) {
       if (PathContains(path, needle)) return true;
     }
     return false;
@@ -379,6 +392,24 @@ void LintFile(const std::string& path, const std::set<std::string>& types,
           " call outside the persistence-policy layer; route flushes "
           "through PersistencePolicy so TSP mode stays flush-free "
           "(or annotate: // tsp-lint: allow(flush-misuse))";
+      sink->Add(std::move(finding));
+    }
+
+    // --- rule: raw-logging ---
+    if (logging_checked && std::regex_search(code, match, kRawLogRe) &&
+        !Allowed(text, lineno, "raw-logging")) {
+      const std::string what =
+          match[1].matched ? match[1].str() : "std::" + match[2].str();
+      report::Finding finding;
+      finding.severity = report::Severity::kError;
+      finding.tool = "tsp-lint";
+      finding.rule = "raw-logging";
+      finding.location = Location(path, lineno);
+      finding.message =
+          "raw " + what +
+          " in the library tree bypasses TSP_LOG; route diagnostics "
+          "through common/logging so TSP_LOG_LEVEL filtering applies "
+          "(or annotate: // tsp-lint: allow(raw-logging))";
       sink->Add(std::move(finding));
     }
 

@@ -21,6 +21,12 @@
 //                   AddressSlotAllocator sees every reservation; a raw
 //                   MAP_FIXED elsewhere can silently clobber a live
 //                   persistent region.
+//   raw-logging     a direct fprintf/printf/puts/fwrite or std::cerr /
+//                   std::cout use inside the library tree (src/) outside
+//                   the logging layer itself. Library diagnostics go
+//                   through TSP_LOG so TSP_LOG_LEVEL filtering and the
+//                   single-write atomicity of common/logging apply;
+//                   tools, benches, and examples keep plain stdio.
 //
 // Escape hatches:
 //   `// tsp-lint: allow(<rule>)` on the offending line or the line
@@ -59,6 +65,15 @@ struct LintConfig {
   /// use MAP_FIXED directly (they implement the mapping mechanics).
   std::vector<std::string> mmap_whitelist = {
       "pheap/backend",
+  };
+  /// The raw-logging rule fires only in files whose path contains one
+  /// of these substrings (the library tree). Tests override this to
+  /// point at fixtures.
+  std::vector<std::string> logging_scope = {"src/"};
+  /// Files within the scope that implement the logging layer and may
+  /// write to stderr directly.
+  std::vector<std::string> logging_whitelist = {
+      "common/logging",
   };
   /// Directory / path components never scanned.
   std::vector<std::string> skip_components = {

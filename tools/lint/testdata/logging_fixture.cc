@@ -1,0 +1,19 @@
+// Deliberately bad fixture for the raw-logging rule: direct stdio and
+// iostream diagnostics that library code must route through TSP_LOG.
+// Tests point LintConfig::logging_scope at testdata/ to lint this file.
+
+#include <cstdio>
+#include <iostream>
+
+void ReportFailure(int code) {
+  std::fprintf(stderr, "failure: %d\n", code);  // flagged (line 9)
+  printf("status\n");                           // flagged (line 10)
+  std::puts("done");                            // flagged (line 11)
+  std::cerr << "failure: " << code << "\n";     // flagged (line 12)
+  std::cout << "ok" << std::endl;               // flagged (line 13)
+  // tsp-lint: allow(raw-logging)
+  std::fprintf(stderr, "blessed banner\n");     // suppressed
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "fmt %d", code);  // formatting, not output
+  (void)buf;
+}

@@ -10,11 +10,14 @@
 //   $ tsp_inspect check a.heap b.heap --json  # shard set, per-shard JSON
 //   $ tsp_inspect log a.heap                # Atlas undo-log summary
 //   $ tsp_inspect log a.heap -v             # ... with per-entry dump
+//   $ tsp_inspect trace a.heap              # flight-recorder event stream
+//   $ tsp_inspect metrics a.heap b.heap     # registry snapshot (JSON)
 //
 // Every command accepts multiple heap files (a sharded domain's shard
 // set); output is attributed per shard and the exit code is nonzero if
-// ANY shard has problems. The historical `tsp_inspect <file> <command>`
-// order still works.
+// ANY shard has problems. `stats` with several files additionally emits
+// an aggregate over the shard set. The historical
+// `tsp_inspect <file> <command>` order still works.
 //
 // `check` and `log` exit nonzero when a heap (or its undo log) is
 // inconsistent, so scripts and CI can gate on them.
@@ -25,11 +28,18 @@
 #include <string>
 #include <vector>
 
+#include <algorithm>
+#include <map>
+#include <memory>
+
 #include "atlas/log_layout.h"
 #include "common/findings.h"
 #include "lockfree/queue.h"
 #include "lockfree/skiplist.h"
 #include "maps/mutex_hashmap.h"
+#include "obs/metrics.h"
+#include "obs/trace_layout.h"
+#include "obs/trace_reader.h"
 #include "pheap/check.h"
 #include "pheap/heap.h"
 #include "workload/map_session.h"
@@ -98,46 +108,40 @@ int ShowAlloc(const PersistentHeap& heap) {
   return 0;
 }
 
-/// Allocator telemetry: magazine/shared operation split, batch-transfer
-/// counters, and per-class shared free-list lengths. On a file opened
-/// read-only the magazine counters are whatever the writing process
-/// flushed (magazines are DRAM state of the live process, not the
-/// file); the free-list walk reads the persistent lists directly.
-int ShowStats(const PersistentHeap& heap, bool json) {
-  const tsp::pheap::AllocatorStats stats = heap.GetAllocatorStats();
-  const auto lists = heap.allocator()->FreeListLengths();
-  if (json) {
-    std::printf("{\"path\":\"%s\",",
-                tsp::report::JsonEscape(heap.region()->path()).c_str());
-    std::printf("\"total_allocs\":%" PRIu64 ",\"total_frees\":%" PRIu64 ",",
-                stats.total_allocs, stats.total_frees);
-    std::printf("\"magazine_allocs\":%" PRIu64
-                ",\"magazine_frees\":%" PRIu64 ",",
-                stats.magazine_allocs, stats.magazine_frees);
-    std::printf("\"shared_allocs\":%" PRIu64 ",\"shared_frees\":%" PRIu64
-                ",",
-                stats.shared_allocs, stats.shared_frees);
-    std::printf("\"refill_batches\":%" PRIu64 ",\"carve_batches\":%" PRIu64
-                ",\"drain_batches\":%" PRIu64 ",",
-                stats.refill_batches, stats.carve_batches,
-                stats.drain_batches);
-    std::printf("\"remote_frees\":%" PRIu64 ",\"remote_reclaims\":%" PRIu64
-                ",\"magazine_discards\":%" PRIu64
-                ",\"batch_pop_retries\":%" PRIu64 ",",
-                stats.remote_frees, stats.remote_reclaims,
-                stats.magazine_discards, stats.batch_pop_retries);
-    std::printf("\"free_lists\":[");
-    bool first = true;
-    for (const auto& list : lists) {
-      if (list.blocks == 0) continue;
-      std::printf("%s{\"block_size\":%zu,\"blocks\":%" PRIu64 "}",
-                  first ? "" : ",", list.block_size, list.blocks);
-      first = false;
-    }
-    std::printf("]}");
-    return 0;
+using FreeLists = std::vector<tsp::pheap::Allocator::FreeListLength>;
+
+/// Shared body of the per-shard and aggregate `stats` records.
+void PrintStatsJsonFields(const tsp::pheap::AllocatorStats& stats,
+                          const FreeLists& lists) {
+  std::printf("\"total_allocs\":%" PRIu64 ",\"total_frees\":%" PRIu64 ",",
+              stats.total_allocs, stats.total_frees);
+  std::printf("\"magazine_allocs\":%" PRIu64 ",\"magazine_frees\":%" PRIu64
+              ",",
+              stats.magazine_allocs, stats.magazine_frees);
+  std::printf("\"shared_allocs\":%" PRIu64 ",\"shared_frees\":%" PRIu64 ",",
+              stats.shared_allocs, stats.shared_frees);
+  std::printf("\"refill_batches\":%" PRIu64 ",\"carve_batches\":%" PRIu64
+              ",\"drain_batches\":%" PRIu64 ",",
+              stats.refill_batches, stats.carve_batches,
+              stats.drain_batches);
+  std::printf("\"remote_frees\":%" PRIu64 ",\"remote_reclaims\":%" PRIu64
+              ",\"magazine_discards\":%" PRIu64
+              ",\"batch_pop_retries\":%" PRIu64 ",",
+              stats.remote_frees, stats.remote_reclaims,
+              stats.magazine_discards, stats.batch_pop_retries);
+  std::printf("\"free_lists\":[");
+  bool first = true;
+  for (const auto& list : lists) {
+    if (list.blocks == 0) continue;
+    std::printf("%s{\"block_size\":%zu,\"blocks\":%" PRIu64 "}",
+                first ? "" : ",", list.block_size, list.blocks);
+    first = false;
   }
-  std::printf("allocator stats:\n");
+  std::printf("]");
+}
+
+void PrintStatsText(const tsp::pheap::AllocatorStats& stats,
+                    const FreeLists& lists) {
   std::printf("  total allocs:       %" PRIu64 "\n", stats.total_allocs);
   std::printf("  total frees:        %" PRIu64 "\n", stats.total_frees);
   std::printf("  magazine allocs:    %" PRIu64 "\n", stats.magazine_allocs);
@@ -162,7 +166,102 @@ int ShowStats(const PersistentHeap& heap, bool json) {
     any = true;
   }
   if (!any) std::printf("    (all empty)\n");
-  return 0;
+}
+
+void AccumulateStats(const tsp::pheap::AllocatorStats& shard,
+                     tsp::pheap::AllocatorStats* total) {
+  total->total_allocs += shard.total_allocs;
+  total->total_frees += shard.total_frees;
+  total->magazine_allocs += shard.magazine_allocs;
+  total->magazine_frees += shard.magazine_frees;
+  total->shared_allocs += shard.shared_allocs;
+  total->shared_frees += shard.shared_frees;
+  total->refill_batches += shard.refill_batches;
+  total->carve_batches += shard.carve_batches;
+  total->drain_batches += shard.drain_batches;
+  total->remote_frees += shard.remote_frees;
+  total->remote_reclaims += shard.remote_reclaims;
+  total->magazine_discards += shard.magazine_discards;
+  total->batch_pop_retries += shard.batch_pop_retries;
+}
+
+/// Allocator telemetry: magazine/shared operation split, batch-transfer
+/// counters, and per-class shared free-list lengths, aggregated over the
+/// shard set and attributed per shard. On a file opened read-only the
+/// magazine counters are whatever the writing process flushed (magazines
+/// are DRAM state of the live process, not the file); the free-list walk
+/// reads the persistent lists directly.
+int RunStats(const std::vector<std::string>& paths, bool json) {
+  struct Shard {
+    std::string path;
+    std::string error;  // non-empty: the open failed
+    tsp::pheap::AllocatorStats stats;
+    FreeLists lists;
+  };
+  std::vector<Shard> shards;
+  tsp::pheap::AllocatorStats aggregate;
+  std::map<std::size_t, std::uint64_t> aggregate_lists;
+  int exit_code = 0;
+  for (const std::string& path : paths) {
+    Shard shard;
+    shard.path = path;
+    auto heap = PersistentHeap::OpenReadOnly(path);
+    if (!heap.ok()) {
+      shard.error = heap.status().ToString();
+      exit_code = 1;
+    } else {
+      shard.stats = (*heap)->GetAllocatorStats();
+      shard.lists = (*heap)->allocator()->FreeListLengths();
+      AccumulateStats(shard.stats, &aggregate);
+      for (const auto& list : shard.lists) {
+        aggregate_lists[list.block_size] += list.blocks;
+      }
+    }
+    shards.push_back(std::move(shard));
+  }
+  FreeLists merged_lists;
+  for (const auto& [block_size, blocks] : aggregate_lists) {
+    merged_lists.push_back({block_size, blocks});
+  }
+
+  if (json) {
+    std::printf("{\"aggregate\":{\"shards\":%zu,", shards.size());
+    PrintStatsJsonFields(aggregate, merged_lists);
+    std::printf("},\"shards\":[");
+    bool first = true;
+    for (const Shard& shard : shards) {
+      std::printf("%s{\"path\":\"%s\",", first ? "" : ",",
+                  tsp::report::JsonEscape(shard.path).c_str());
+      if (!shard.error.empty()) {
+        std::printf("\"ok\":false,\"error\":\"%s\"}",
+                    tsp::report::JsonEscape(shard.error).c_str());
+      } else {
+        std::printf("\"ok\":true,");
+        PrintStatsJsonFields(shard.stats, shard.lists);
+        std::printf("}");
+      }
+      first = false;
+    }
+    std::printf("]}\n");
+    return exit_code;
+  }
+
+  for (const Shard& shard : shards) {
+    if (paths.size() > 1) std::printf("=== %s ===\n", shard.path.c_str());
+    if (!shard.error.empty()) {
+      std::fprintf(stderr, "cannot open %s: %s\n", shard.path.c_str(),
+                   shard.error.c_str());
+      continue;
+    }
+    std::printf("allocator stats:\n");
+    PrintStatsText(shard.stats, shard.lists);
+  }
+  if (paths.size() > 1) {
+    std::printf("=== aggregate over %zu shards ===\nallocator stats:\n",
+                paths.size());
+    PrintStatsText(aggregate, merged_lists);
+  }
+  return exit_code;
 }
 
 /// Runs the integrity check on one heap. In JSON mode the caller
@@ -246,15 +345,188 @@ int ShowLog(const PersistentHeap& heap, bool verbose) {
   return exit_code;
 }
 
+/// OCSes the undo log shows as begun-but-uncommitted, as PackThreadOcs
+/// ids — exactly the set recovery will roll back as "incomplete". Used
+/// to cross-reference the flight recorder's open spans.
+std::vector<std::uint64_t> UndoLogOpenOcses(const PersistentHeap& heap) {
+  std::vector<std::uint64_t> open;
+  void* area_base = const_cast<void*>(
+      static_cast<const void*>(heap.runtime_area()));
+  if (!tsp::atlas::AtlasArea::Validate(area_base,
+                                       heap.runtime_area_size())) {
+    return open;
+  }
+  tsp::atlas::AtlasArea area(area_base, heap.runtime_area_size());
+  for (std::uint32_t t = 0; t < area.max_threads(); ++t) {
+    const tsp::atlas::ThreadLogHeader* slot = area.slot(t);
+    const std::uint64_t head = slot->head.load(std::memory_order_relaxed);
+    const std::uint64_t tail = slot->tail.load(std::memory_order_relaxed);
+    std::uint64_t open_ocs = 0;
+    for (std::uint64_t i = head; i < tail; ++i) {
+      const tsp::atlas::LogEntry* entry = area.entry(t, i);
+      if (entry->kind == tsp::atlas::EntryKind::kOcsBegin) {
+        open_ocs = entry->payload;
+      } else if (entry->kind == tsp::atlas::EntryKind::kOcsCommit &&
+                 entry->payload == open_ocs) {
+        open_ocs = 0;
+      }
+    }
+    if (open_ocs != 0) {
+      open.push_back(tsp::atlas::PackThreadOcs(slot->thread_id, open_ocs));
+    }
+  }
+  return open;
+}
+
+/// Decodes the flight recorder: per-thread rings merged into one
+/// stamp-ordered stream, plus the open OCS spans cross-referenced
+/// against the undo log's own begun-but-uncommitted OCSes. Shows the
+/// stream tail by default; -v dumps every surviving event.
+int ShowTrace(const PersistentHeap& heap, bool json, bool verbose) {
+  const tsp::obs::TraceReader reader(heap.runtime_area(),
+                                     heap.runtime_area_size());
+  if (json && !reader.valid()) {
+    std::printf("{\"path\":\"%s\",\"recorder\":false}",
+                tsp::report::JsonEscape(heap.region()->path()).c_str());
+    return 0;
+  }
+  if (!reader.valid()) {
+    std::printf("no flight recorder (legacy layout, tiny runtime area, or "
+                "tracing disabled when the heap ran)\n");
+    return 0;
+  }
+  const std::vector<tsp::obs::TraceEvent> merged = reader.MergedEvents();
+  const std::vector<tsp::obs::OpenOcsSpan> spans = reader.OpenOcsSpans();
+  const std::vector<std::uint64_t> log_open = UndoLogOpenOcses(heap);
+  auto in_log = [&log_open](std::uint64_t packed) {
+    return std::find(log_open.begin(), log_open.end(), packed) !=
+           log_open.end();
+  };
+  auto in_spans = [&spans](std::uint64_t packed) {
+    for (const auto& span : spans) {
+      if (span.packed_ocs == packed) return true;
+    }
+    return false;
+  };
+  constexpr std::size_t kDefaultTail = 64;
+  const std::size_t first =
+      (verbose || merged.size() <= kDefaultTail) ? 0
+                                                 : merged.size() - kDefaultTail;
+
+  if (json) {
+    std::printf("{\"path\":\"%s\",\"recorder\":true,"
+                "\"events_recorded\":%" PRIu64 ",\"events_surviving\":%zu,",
+                tsp::report::JsonEscape(heap.region()->path()).c_str(),
+                reader.EventsRecorded(), merged.size());
+    std::printf("\"open_spans\":[");
+    bool comma = false;
+    for (const auto& span : spans) {
+      std::printf("%s{\"ring\":%u,\"thread\":%u,\"ocs\":%" PRIu64
+                  ",\"lock\":%u,\"begin_stamp\":%" PRIu64
+                  ",\"in_undo_log\":%s}",
+                  comma ? "," : "", span.ring_id,
+                  tsp::atlas::UnpackThread(span.packed_ocs),
+                  tsp::atlas::UnpackOcs(span.packed_ocs), span.lock_id,
+                  span.begin_stamp, in_log(span.packed_ocs) ? "true" : "false");
+      comma = true;
+    }
+    std::printf("],\"undo_log_open\":[");
+    comma = false;
+    for (const std::uint64_t packed : log_open) {
+      std::printf("%s{\"thread\":%u,\"ocs\":%" PRIu64
+                  ",\"in_recorder\":%s}",
+                  comma ? "," : "", tsp::atlas::UnpackThread(packed),
+                  tsp::atlas::UnpackOcs(packed),
+                  in_spans(packed) ? "true" : "false");
+      comma = true;
+    }
+    std::printf("],\"events\":[");
+    comma = false;
+    for (std::size_t i = first; i < merged.size(); ++i) {
+      const tsp::obs::TraceEvent& e = merged[i];
+      std::printf("%s{\"stamp\":%" PRIu64 ",\"ring\":%u,\"code\":\"%s\","
+                  "\"arg0\":%" PRIu64 ",\"arg1\":%" PRIu64 ",\"aux\":%u}",
+                  comma ? "," : "", e.stamp, e.thread_id,
+                  tsp::obs::EventCodeName(
+                      static_cast<tsp::obs::EventCode>(e.code)),
+                  e.arg0, e.arg1, e.aux);
+      comma = true;
+    }
+    std::printf("]}");
+    return 0;
+  }
+
+  std::printf("flight recorder: %" PRIu64 " events recorded, %zu surviving "
+              "in the rings\n",
+              reader.EventsRecorded(), merged.size());
+  for (const auto& span : spans) {
+    std::printf("  open OCS span: ring=%u thread=%u ocs=%" PRIu64
+                " lock=%u begin_stamp=%" PRIu64 " %s\n",
+                span.ring_id, tsp::atlas::UnpackThread(span.packed_ocs),
+                tsp::atlas::UnpackOcs(span.packed_ocs), span.lock_id,
+                span.begin_stamp,
+                in_log(span.packed_ocs)
+                    ? "[undo log agrees: uncommitted at crash]"
+                    : "[no matching open OCS in the undo log]");
+  }
+  for (const std::uint64_t packed : log_open) {
+    if (in_spans(packed)) continue;
+    std::printf("  undo-log open OCS without a recorder span: thread=%u "
+                "ocs=%" PRIu64 " (ring wrapped past its begin event?)\n",
+                tsp::atlas::UnpackThread(packed),
+                tsp::atlas::UnpackOcs(packed));
+  }
+  if (merged.empty()) return 0;
+  if (first > 0) {
+    std::printf("  last %zu events (-v for all %zu):\n",
+                merged.size() - first, merged.size());
+  } else {
+    std::printf("  events:\n");
+  }
+  for (std::size_t i = first; i < merged.size(); ++i) {
+    const tsp::obs::TraceEvent& e = merged[i];
+    std::printf("    [ring %2u] stamp=%" PRIu64 " %-17s arg0=%" PRIu64
+                " arg1=%" PRIu64 " aux=%u\n",
+                e.thread_id, e.stamp,
+                tsp::obs::EventCodeName(
+                    static_cast<tsp::obs::EventCode>(e.code)),
+                e.arg0, e.arg1, e.aux);
+  }
+  return 0;
+}
+
+/// Opens every shard read-only — each open registers the heap's metrics
+/// pull source with the process-wide registry — then prints one snapshot:
+/// the unified-registry JSON with same-named counters summed across the
+/// shard set.
+int RunMetrics(const std::vector<std::string>& paths) {
+  std::vector<std::unique_ptr<PersistentHeap>> heaps;
+  int exit_code = 0;
+  for (const std::string& path : paths) {
+    auto heap = PersistentHeap::OpenReadOnly(path);
+    if (!heap.ok()) {
+      std::fprintf(stderr, "cannot open %s: %s\n", path.c_str(),
+                   heap.status().ToString().c_str());
+      exit_code = 1;
+      continue;
+    }
+    heaps.push_back(std::move(*heap));
+  }
+  std::printf("%s\n",
+              tsp::obs::DefaultRegistry().Snapshot().ToJson().c_str());
+  return exit_code;
+}
+
 bool IsCommand(const std::string& word) {
   return word == "header" || word == "alloc" || word == "check" ||
-         word == "log" || word == "stats";
+         word == "log" || word == "stats" || word == "trace" ||
+         word == "metrics";
 }
 
 int Usage(const char* prog) {
   std::fprintf(stderr,
                "usage: %s {header | alloc | stats [--json] | check "
-               "[--json] | log [-v]} "
+               "[--json] | log [-v] | trace [--json] [-v] | metrics} "
                "<heap-file> [<heap-file>...]\n"
                "       %s <heap-file> <command> [flags]   (historical "
                "order)\n",
@@ -286,8 +558,11 @@ int main(int argc, char** argv) {
   }
   if (command.empty() || paths.empty()) return Usage(argv[0]);
 
-  const bool json_array =
-      json && (command == "check" || command == "stats");
+  // These two aggregate over the whole shard set rather than iterating.
+  if (command == "stats") return RunStats(paths, json);
+  if (command == "metrics") return RunMetrics(paths);
+
+  const bool json_array = json && (command == "check" || command == "trace");
   int exit_code = 0;
   bool first = true;
   if (json_array) std::printf("[");
@@ -318,9 +593,9 @@ int main(int argc, char** argv) {
     int rc = 2;
     if (command == "header") rc = ShowHeader(**heap);
     if (command == "alloc") rc = ShowAlloc(**heap);
-    if (command == "stats") rc = ShowStats(**heap, json);
     if (command == "check") rc = ShowCheck(**heap, json);
     if (command == "log") rc = ShowLog(**heap, verbose);
+    if (command == "trace") rc = ShowTrace(**heap, json, verbose);
     if (rc != 0) exit_code = rc;
   }
   if (json_array) std::printf("]\n");
