@@ -28,6 +28,9 @@
 //        --high N       (|H|, default 2^20 as in a "much larger" range)
 //        --shards LIST  (comma-separated shard counts, default "1")
 //        --json PATH    (default results/table1.json; "" disables)
+//        --max-log-overhead-pct P  (exit nonzero if the canonical
+//                        single-heap log-only overhead vs native
+//                        exceeds P percent; <=0 disables, default off)
 // Both `--flag value` and `--flag=value` forms are accepted.
 
 #include <sys/stat.h>
@@ -142,6 +145,12 @@ void RunVariant(const WorkloadOptions& workload, int shards, Row* row) {
     row->atlas.seq_blocks_leased += stats.seq_blocks_leased;
     row->atlas.seq_resyncs += stats.seq_resyncs;
     row->atlas.batched_publishes += stats.batched_publishes;
+    row->atlas.elided_fresh += stats.elided_fresh;
+    row->atlas.range_records += stats.range_records;
+    row->atlas.line_dedup_hits += stats.line_dedup_hits;
+    row->atlas.flit_repeat_hits += stats.flit_repeat_hits;
+    row->atlas.flit_rearms += stats.flit_rearms;
+    row->atlas.addrset_shrinks += stats.addrset_shrinks;
   }
   row->metrics_json = tsp::obs::DefaultRegistry().Snapshot().ToJson();
 
@@ -208,6 +217,21 @@ bool WriteJson(const std::string& json_path, const WorkloadOptions& workload,
       std::fprintf(f, "          \"batched_publishes\": %llu,\n",
                    static_cast<unsigned long long>(
                        row.atlas.batched_publishes));
+      std::fprintf(f, "          \"elided_fresh\": %llu,\n",
+                   static_cast<unsigned long long>(row.atlas.elided_fresh));
+      std::fprintf(f, "          \"range_records\": %llu,\n",
+                   static_cast<unsigned long long>(row.atlas.range_records));
+      std::fprintf(f, "          \"line_dedup_hits\": %llu,\n",
+                   static_cast<unsigned long long>(
+                       row.atlas.line_dedup_hits));
+      std::fprintf(f, "          \"flit_repeat_hits\": %llu,\n",
+                   static_cast<unsigned long long>(
+                       row.atlas.flit_repeat_hits));
+      std::fprintf(f, "          \"flit_rearms\": %llu,\n",
+                   static_cast<unsigned long long>(row.atlas.flit_rearms));
+      std::fprintf(f, "          \"addrset_shrinks\": %llu,\n",
+                   static_cast<unsigned long long>(
+                       row.atlas.addrset_shrinks));
       std::fprintf(f, "          \"magazine_allocs\": %llu,\n",
                    static_cast<unsigned long long>(row.magazine_allocs));
       std::fprintf(f, "          \"shared_allocs\": %llu,\n",
@@ -263,6 +287,7 @@ int main(int argc, char** argv) {
   workload.high_range = 1 << 20;
   std::string json_path = "results/table1.json";
   std::string shard_list = "1";
+  double max_log_overhead_pct = 0;  // <=0: no gate
   for (int i = 1; i < argc; ++i) {
     // Accept `--flag value` and `--flag=value`.
     std::string flag = argv[i];
@@ -287,6 +312,8 @@ int main(int argc, char** argv) {
       shard_list = value;
     } else if (flag == "--json") {
       json_path = value;
+    } else if (flag == "--max-log-overhead-pct") {
+      max_log_overhead_pct = std::atof(value.c_str());
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
       return 2;
@@ -320,6 +347,16 @@ int main(int argc, char** argv) {
                   static_cast<unsigned long long>(row.atlas.seq_resyncs),
                   static_cast<unsigned long long>(row.magazine_allocs));
     }
+    const Row& logged = run.rows[1];
+    std::printf("\nUndo-log diet (log-only run): %llu ring records "
+                "(%llu ranges), %llu slot arms, %llu fresh-store elisions, "
+                "%llu line-dedup hits\n",
+                static_cast<unsigned long long>(logged.atlas.undo_records),
+                static_cast<unsigned long long>(logged.atlas.range_records),
+                static_cast<unsigned long long>(logged.atlas.flit_rearms),
+                static_cast<unsigned long long>(logged.atlas.elided_fresh),
+                static_cast<unsigned long long>(
+                    logged.atlas.line_dedup_hits));
     std::printf("\nDerived (paper §5.2 reports desktop/server):\n");
     std::printf("  Atlas log-only overhead vs native:   %5.1f%%  "
                 "(paper: ~35%% / ~30%%)\n",
@@ -340,5 +377,19 @@ int main(int argc, char** argv) {
   }
   // Gate on the canonical single-heap run; sharded runs are reported
   // but their shape depends on core count.
-  return runs.front().shape_holds() ? 0 : 1;
+  const RunSet& canonical = runs.front();
+  if (max_log_overhead_pct > 0) {
+    const double overhead =
+        (1 - canonical.log_only() / canonical.native()) * 100;
+    if (overhead > max_log_overhead_pct) {
+      std::fprintf(stderr,
+                   "FAIL: log-only overhead %.1f%% exceeds the "
+                   "--max-log-overhead-pct %.1f%% budget\n",
+                   overhead, max_log_overhead_pct);
+      return 1;
+    }
+    std::printf("log-only overhead gate: %.1f%% <= %.1f%% budget\n",
+                overhead, max_log_overhead_pct);
+  }
+  return canonical.shape_holds() ? 0 : 1;
 }

@@ -4,6 +4,16 @@
 // (Atlas logs "before allowing a store ... to alter a persistent heap
 // location for the first time in an OCS").
 //
+// Keys are cache-line indices (region offset >> 6) with an 8-bit
+// presence mask of the line's 8-byte words, so adjacent-field stores
+// inside one line probe the same slot and the table holds one entry per
+// touched line instead of one per touched word. Coverage is tracked at
+// word granularity: a set mask bit asserts the *entire* aligned 8-byte
+// word was captured in an undo record, which is why the runtime
+// decomposes every store into full aligned words before logging (a
+// sub-word capture under a word-granular mask would elide bytes that
+// were never saved).
+//
 // Duplicate logging would still be correct (undo records are applied in
 // reverse global order, so the oldest value wins), but first-store
 // filtering is part of the logging cost profile the paper measures.
@@ -20,43 +30,117 @@ namespace tsp::atlas {
 /// O(1) via epoch stamping.
 class AddressSet {
  public:
+  static constexpr std::size_t kInitialCapacity = 256;
+
+  /// Quiet (small) epochs before an inflated table retires back to
+  /// kInitialCapacity: one oversized OCS must not permanently inflate
+  /// every later OCS's per-store probe footprint.
+  static constexpr std::uint64_t kShrinkAfterQuietEpochs = 16;
+
+  /// Result of a word-coverage probe.
+  struct Probe {
+    /// True if the word was not yet covered (caller must log it).
+    bool newly_covered;
+    /// True if the probe landed on a line slot that already existed in
+    /// this epoch (an adjacent-field or repeat store sharing the line).
+    bool line_hit;
+  };
+
   AddressSet() : slots_(kInitialCapacity) {}
 
-  /// Starts a new OCS: logically empties the set.
-  void NewEpoch() { ++epoch_; size_ = 0; }
-
-  /// Returns true if `key` was absent (and inserts it).
-  bool InsertIfAbsent(std::uint64_t key) {
-    if ((size_ + 1) * 4 >= slots_.size() * 3) Grow();
-    const std::uint64_t mask = slots_.size() - 1;
-    std::uint64_t index = Hash(key) & mask;
-    for (;;) {
-      Slot& slot = slots_[index];
-      if (slot.epoch != epoch_) {  // empty in this epoch
-        slot.key = key;
-        slot.epoch = epoch_;
-        ++size_;
-        return true;
+  /// Starts a new OCS: logically empties the set. Retires an inflated
+  /// table once kShrinkAfterQuietEpochs consecutive epochs stayed within
+  /// the initial capacity's load limit.
+  void NewEpoch() {
+    if (slots_.size() > kInitialCapacity) {
+      if ((size_ + 1) * 4 < kInitialCapacity * 3) {
+        if (++quiet_epochs_ >= kShrinkAfterQuietEpochs) {
+          slots_.assign(kInitialCapacity, Slot{});
+          slots_.shrink_to_fit();
+          quiet_epochs_ = 0;
+          ++shrinks_;
+        }
+      } else {
+        quiet_epochs_ = 0;
       }
-      if (slot.key == key) return false;
-      index = (index + 1) & mask;
     }
+    ++epoch_;
+    size_ = 0;
+  }
+
+  /// Marks the aligned 8-byte word at region offset `word_offset`
+  /// (multiple of 8) covered and reports whether it was covered before.
+  Probe CoverWord(std::uint64_t word_offset) {
+    Slot& slot = FindLine(word_offset >> 6);
+    const std::uint8_t bit =
+        static_cast<std::uint8_t>(1u << ((word_offset >> 3) & 7));
+    Probe probe{(slot.mask & bit) == 0, slot.line_hit};
+    slot.mask |= bit;
+    return probe;
+  }
+
+  /// Covers every aligned word of [word_offset, word_offset + len) (both
+  /// multiples of 8). Returns true if *all* words were already covered
+  /// (the whole range dedups away).
+  bool CoverRange(std::uint64_t word_offset, std::uint64_t len) {
+    bool all_covered = true;
+    std::uint64_t line = word_offset >> 6;
+    const std::uint64_t last_line = (word_offset + len - 1) >> 6;
+    std::uint64_t first_word = (word_offset >> 3) & 7;
+    std::uint64_t words_left = len >> 3;
+    for (; line <= last_line; ++line, first_word = 0) {
+      const std::uint64_t words_here =
+          words_left < 8 - first_word ? words_left : 8 - first_word;
+      const std::uint8_t bits = static_cast<std::uint8_t>(
+          ((1u << words_here) - 1) << first_word);
+      Slot& slot = FindLine(line);
+      if ((slot.mask & bits) != bits) all_covered = false;
+      slot.mask |= bits;
+      words_left -= words_here;
+    }
+    return all_covered;
   }
 
   std::size_t size() const { return size_; }
   std::size_t capacity() const { return slots_.size(); }
+  std::uint64_t shrinks() const { return shrinks_; }
 
  private:
   struct Slot {
-    std::uint64_t key = 0;
+    std::uint64_t line = 0;
     std::uint64_t epoch = 0;  // 0 = never used (epoch_ starts at 1)
+    std::uint8_t mask = 0;    // words of the line already captured
+    /// Scratch for CoverWord's Probe report, valid only within the
+    /// FindLine call that set it.
+    bool line_hit = false;
   };
 
-  static constexpr std::size_t kInitialCapacity = 256;
+  static std::uint64_t Hash(std::uint64_t line) {
+    // Fibonacci hashing on the line index.
+    return line * 0x9e3779b97f4a7c15ULL;
+  }
 
-  static std::uint64_t Hash(std::uint64_t key) {
-    // Fibonacci hashing on the address; low bits are alignment zeros.
-    return (key >> 3) * 0x9e3779b97f4a7c15ULL;
+  /// Finds (or inserts empty) the slot for `line`, setting line_hit.
+  Slot& FindLine(std::uint64_t line) {
+    if ((size_ + 1) * 4 >= slots_.size() * 3) Grow();
+    const std::uint64_t mask = slots_.size() - 1;
+    std::uint64_t index = Hash(line) & mask;
+    for (;;) {
+      Slot& slot = slots_[index];
+      if (slot.epoch != epoch_) {  // empty in this epoch
+        slot.line = line;
+        slot.epoch = epoch_;
+        slot.mask = 0;
+        slot.line_hit = false;
+        ++size_;
+        return slot;
+      }
+      if (slot.line == line) {
+        slot.line_hit = true;
+        return slot;
+      }
+      index = (index + 1) & mask;
+    }
   }
 
   void Grow() {
@@ -65,7 +149,7 @@ class AddressSet {
     const std::uint64_t mask = slots_.size() - 1;
     for (const Slot& slot : old) {
       if (slot.epoch != epoch_) continue;
-      std::uint64_t index = Hash(slot.key) & mask;
+      std::uint64_t index = Hash(slot.line) & mask;
       while (slots_[index].epoch == epoch_) index = (index + 1) & mask;
       slots_[index] = slot;
     }
@@ -74,6 +158,8 @@ class AddressSet {
   std::vector<Slot> slots_;
   std::uint64_t epoch_ = 1;
   std::size_t size_ = 0;
+  std::uint64_t quiet_epochs_ = 0;
+  std::uint64_t shrinks_ = 0;
 };
 
 }  // namespace tsp::atlas

@@ -3,6 +3,13 @@
 #include <cstring>
 
 namespace tsp::atlas {
+namespace {
+
+constexpr std::size_t AlignUp(std::size_t value, std::size_t alignment) {
+  return (value + alignment - 1) & ~(alignment - 1);
+}
+
+}  // namespace
 
 std::uint64_t AtlasArea::Format(void* base, std::size_t size,
                                 std::uint32_t max_threads) {
@@ -10,9 +17,30 @@ std::uint64_t AtlasArea::Format(void* base, std::size_t size,
   const std::size_t slots_bytes = sizeof(ThreadLogHeader) * max_threads;
   // Round the slots offset up to the ThreadLogHeader alignment.
   const std::size_t slots_offset =
-      (header_bytes + alignof(ThreadLogHeader) - 1) &
-      ~(alignof(ThreadLogHeader) - 1);
-  const std::size_t entries_offset = slots_offset + slots_bytes;
+      AlignUp(header_bytes, alignof(ThreadLogHeader));
+
+  // Carve the per-thread CounterSlot arrays between the ring headers and
+  // the entry storage — unless doing so would starve the rings, in which
+  // case the area formats without counter slots and the runtime's slot
+  // fast path simply stays off.
+  std::uint32_t counter_slots_per_thread = kDefaultCounterSlotsPerThread;
+  std::size_t counter_slots_offset = 0;
+  std::size_t entries_offset = 0;
+  for (;;) {
+    counter_slots_offset =
+        AlignUp(slots_offset + slots_bytes, alignof(CounterSlot));
+    const std::size_t counter_bytes =
+        sizeof(CounterSlot) *
+        static_cast<std::size_t>(counter_slots_per_thread) * max_threads;
+    entries_offset = counter_slots_offset + counter_bytes;
+    if (counter_slots_per_thread == 0 ||
+        (size > entries_offset &&
+         (size - entries_offset) / (sizeof(LogEntry) * max_threads) >=
+             kDefaultCounterSlotsPerThread)) {
+      break;
+    }
+    counter_slots_per_thread = 0;  // too small: rings take precedence
+  }
   if (size <= entries_offset + sizeof(LogEntry) * max_threads) return 0;
 
   const std::uint64_t entries_per_thread =
@@ -21,25 +49,50 @@ std::uint64_t AtlasArea::Format(void* base, std::size_t size,
   std::memset(base, 0, entries_offset);
   auto* header = static_cast<AtlasAreaHeader*>(base);
   header->magic = kAtlasMagic;
-  header->version = 1;
+  header->version = kAtlasFormatVersion;
   header->max_threads = max_threads;
   header->entries_per_thread = entries_per_thread;
   header->slots_offset = slots_offset;
   header->entries_offset = entries_offset;
+  header->counter_slots_offset =
+      counter_slots_per_thread > 0 ? counter_slots_offset : 0;
+  header->counter_slots_per_thread = counter_slots_per_thread;
   return entries_per_thread;
 }
 
 bool AtlasArea::Validate(const void* base, std::size_t size) {
   if (size < sizeof(AtlasAreaHeader)) return false;
   const auto* header = static_cast<const AtlasAreaHeader*>(base);
-  if (header->magic != kAtlasMagic || header->version != 1) return false;
+  if (header->magic != kAtlasMagic) return false;
+  // Older versions decode with the added fields reading as zero (Format
+  // has always zeroed the whole prefix); newer versions may have moved
+  // the geometry and must be rejected, not guessed at.
+  if (header->version == 0 || header->version > kAtlasFormatVersion) {
+    return false;
+  }
   if (header->max_threads == 0 || header->entries_per_thread == 0) {
     return false;
   }
   const std::uint64_t needed =
       header->entries_offset + header->entries_per_thread *
                                    header->max_threads * sizeof(LogEntry);
-  return needed <= size;
+  if (needed > size) return false;
+  if (header->counter_slots_per_thread > 0) {
+    const std::uint64_t counter_end =
+        header->counter_slots_offset +
+        static_cast<std::uint64_t>(header->counter_slots_per_thread) *
+            header->max_threads * sizeof(CounterSlot);
+    if (header->counter_slots_offset == 0 || counter_end > size) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::uint32_t AtlasArea::VersionOf(const void* base, std::size_t size) {
+  if (size < sizeof(AtlasAreaHeader)) return 0;
+  const auto* header = static_cast<const AtlasAreaHeader*>(base);
+  return header->magic == kAtlasMagic ? header->version : 0;
 }
 
 }  // namespace tsp::atlas

@@ -51,7 +51,28 @@ enum class EntryKind : std::uint8_t {
   /// Rollback does not undo allocations — the recovery GC reclaims
   /// anything the rolled-back OCS never published.
   kAlloc,
+  /// Variable-length undo record for a guarded memcpy: addr_offset =
+  /// word-aligned region offset of the range, payload = range length in
+  /// bytes (a multiple of 8), aux = number of continuation entries
+  /// (ceil(payload / 32)) immediately following in the ring. Each
+  /// continuation entry is 32 raw bytes of the range's *old* contents —
+  /// not a LogEntry at all — so every ring scanner must skip `aux`
+  /// entries after a kStoreRange header (see kContinuationBytes).
+  kStoreRange,
 };
+
+/// Highest EntryKind this build can decode. A log written by a newer
+/// producer is reported as a versioned-format error, not generic
+/// corruption (see AtlasArea version checks below).
+inline constexpr std::uint8_t kMaxKnownEntryKind =
+    static_cast<std::uint8_t>(EntryKind::kStoreRange);
+
+/// Old-value bytes carried per kStoreRange continuation entry.
+inline constexpr std::uint64_t kContinuationBytes = 32;
+
+constexpr std::uint64_t RangeContinuationCount(std::uint64_t len) {
+  return (len + kContinuationBytes - 1) / kContinuationBytes;
+}
 
 /// Packed (thread id, OCS id) used for dependency edges; 0 = none.
 constexpr std::uint64_t PackThreadOcs(std::uint16_t thread_id,
@@ -106,6 +127,46 @@ struct alignas(64) ThreadLogHeader {
 
 static_assert(sizeof(ThreadLogHeader) == 64);
 
+/// Persistent FliT-style "logged counter" slot (one cache line). Each
+/// thread owns a private direct-mapped array of these; a slot *is* an
+/// undo record at a fixed location for a hot, repeatedly-stored word.
+/// Re-arming a slot replaces a 32-byte ring append with one L1-resident
+/// line write, and a same-OCS hit replaces the AddressSet probe with a
+/// single predictable branch.
+///
+/// Overwrite rule (the correctness core): a slot may be claimed or
+/// re-armed only when its current occupant OCS is *stable* (can never
+/// be rolled back), so the overwritten old value can never be needed.
+/// Unstable occupants force the store back onto the ring path.
+///
+/// `version` is a seqlock written only by the owning thread: odd while
+/// the fields are being rewritten, even when consistent. Recovery skips
+/// odd slots — safe, because the slot update is ordered before the
+/// guarded store it protects, so a torn slot implies that store never
+/// executed.
+struct alignas(64) CounterSlot {
+  std::atomic<std::uint64_t> version;
+  /// Word-aligned region offset of the guarded word; 0 = empty.
+  std::uint64_t addr_offset;
+  /// The word's old (pre-OCS) 8-byte value.
+  std::uint64_t old_value;
+  /// Owning OCS id (per-thread, compared against stable_ocs).
+  std::uint64_t ocs_id;
+  /// Sequence stamp, ordering the slot against ring undo records.
+  std::uint64_t seq;
+  std::uint64_t reserved_[3];
+};
+
+static_assert(sizeof(CounterSlot) == 64);
+
+/// Current on-media format version. Version 2 adds the per-thread
+/// CounterSlot arrays (counter_slots_offset / counter_slots_per_thread)
+/// and the kStoreRange record kind. Version-1 areas decode as version 2
+/// with zero counter slots (the added header fields sit in bytes
+/// Format always zeroed), but are reformatted on the next clean
+/// Initialize.
+inline constexpr std::uint32_t kAtlasFormatVersion = 2;
+
 /// Header of the Atlas area, placed at the start of the region's
 /// runtime area.
 struct AtlasAreaHeader {
@@ -117,9 +178,21 @@ struct AtlasAreaHeader {
   /// the entry rings follow it.
   std::uint64_t slots_offset;
   std::uint64_t entries_offset;
+  /// Offset of the CounterSlot arrays (version ≥ 2; 0 = none).
+  std::uint64_t counter_slots_offset;
+  /// CounterSlots per thread (version ≥ 2; 0 disables the fast path).
+  std::uint32_t counter_slots_per_thread;
+  std::uint32_t reserved_;
 };
 
+static_assert(sizeof(AtlasAreaHeader) <= 64,
+              "v1 headers must keep their slots_offset (64) valid");
+
 inline constexpr std::uint32_t kDefaultMaxThreads = 64;
+
+/// CounterSlots carved out per thread when the area is large enough
+/// (Format degrades to 0 slots rather than starving the rings).
+inline constexpr std::uint32_t kDefaultCounterSlotsPerThread = 256;
 
 /// Accessors over a formatted Atlas area.
 class AtlasArea {
@@ -130,8 +203,16 @@ class AtlasArea {
                               std::uint32_t max_threads);
 
   /// Attaches to an already formatted area (crash recovery path).
-  /// Returns false if the magic does not match.
+  /// Returns false if the magic does not match. Accepts format
+  /// versions up to kAtlasFormatVersion (older versions decode with
+  /// the missing features absent); rejects newer ones — use
+  /// VersionOf to report *why* validation failed.
   static bool Validate(const void* base, std::size_t size);
+
+  /// Format version of an area with a matching magic, or 0 when the
+  /// bytes are not an Atlas area at all. Lets diagnostics distinguish
+  /// "newer than this decoder" from garbage.
+  static std::uint32_t VersionOf(const void* base, std::size_t size);
 
   AtlasArea(void* base, std::size_t size)
       : base_(static_cast<char*>(base)), size_(size) {}
@@ -148,6 +229,21 @@ class AtlasArea {
     return reinterpret_cast<ThreadLogHeader*>(base_ +
                                               header()->slots_offset) +
            thread_id;
+  }
+
+  /// CounterSlots per thread (0 on v1 areas or areas too small for a
+  /// slot carve-out).
+  std::uint32_t counter_slots_per_thread() const {
+    return header()->counter_slots_per_thread;
+  }
+
+  /// Base of thread `thread_id`'s CounterSlot array; only valid when
+  /// counter_slots_per_thread() > 0.
+  CounterSlot* counter_slots(std::uint32_t thread_id) const {
+    return reinterpret_cast<CounterSlot*>(base_ +
+                                          header()->counter_slots_offset) +
+           static_cast<std::uint64_t>(thread_id) *
+               header()->counter_slots_per_thread;
   }
 
   /// Entry storage for ring position `index` of thread `thread_id`.

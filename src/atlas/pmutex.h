@@ -23,7 +23,11 @@
 
 namespace tsp::atlas {
 
-class PMutex {
+/// Cache-line aligned so the futex word and the lock_word_ dependency
+/// channel always share one line: an acquirer's miss on the mutex also
+/// brings in the releaser's frontier, instead of paying a second
+/// cross-core miss inside the critical section.
+class alignas(64) PMutex {
  public:
   /// Creates a mutex tied to `runtime` (may be null for an unlogged
   /// plain mutex).
@@ -34,27 +38,54 @@ class PMutex {
   PMutex(const PMutex&) = delete;
   PMutex& operator=(const PMutex&) = delete;
 
-  void lock() {
-    mutex_.lock();
-    if (runtime_ != nullptr && runtime_->policy().logging_enabled()) {
-      runtime_->CurrentThread()->OnAcquire(&lock_word_, lock_id_);
+  /// The calling thread's logging context, or null when this mutex does
+  /// not log (no runtime, or logging disabled). Callers holding several
+  /// operations under one guard can fetch it once and use LockWith /
+  /// UnlockWith to skip the per-call thread-local lookup.
+  AtlasThread* LoggingThread() const {
+    return runtime_ != nullptr && runtime_->policy().logging_enabled()
+               ? runtime_->CurrentThread()
+               : nullptr;
+  }
+
+  /// lock()/unlock() with a pre-fetched LoggingThread() result (null =
+  /// plain mutex). Keeps the thread-local lookup out of the critical
+  /// section; `thread` must belong to the calling thread.
+  void LockWith(AtlasThread* thread) {
+    if (thread != nullptr) {
+      // Split hooks keep the hold time short: the thread-private
+      // begin-of-OCS work runs before blocking on the mutex, and only
+      // the resync + dependency edge runs with it held.
+      thread->OnAcquirePrep(lock_id_);
+      mutex_.lock();
+      thread->OnAcquire(&lock_word_, lock_id_);
+    } else {
+      mutex_.lock();
     }
   }
 
+  void UnlockWith(AtlasThread* thread) {
+    if (thread != nullptr) {
+      thread->OnReleaseBegin(&lock_word_, lock_id_);
+      mutex_.unlock();
+      thread->OnReleaseFinish();
+    } else {
+      mutex_.unlock();
+    }
+  }
+
+  void lock() { LockWith(LoggingThread()); }
+
   bool try_lock() {
     if (!mutex_.try_lock()) return false;
-    if (runtime_ != nullptr && runtime_->policy().logging_enabled()) {
-      runtime_->CurrentThread()->OnAcquire(&lock_word_, lock_id_);
+    if (AtlasThread* thread = LoggingThread()) {
+      // No prep before a try: on failure the OCS would never open.
+      thread->OnAcquire(&lock_word_, lock_id_);
     }
     return true;
   }
 
-  void unlock() {
-    if (runtime_ != nullptr && runtime_->policy().logging_enabled()) {
-      runtime_->CurrentThread()->OnRelease(&lock_word_, lock_id_);
-    }
-    mutex_.unlock();
-  }
+  void unlock() { UnlockWith(LoggingThread()); }
 
   AtlasRuntime* runtime() const { return runtime_; }
   std::uint32_t lock_id() const { return lock_id_; }
@@ -68,17 +99,23 @@ class PMutex {
   std::uint32_t lock_id_;
 };
 
-/// RAII guard, analogous to std::lock_guard.
+/// RAII guard, analogous to std::lock_guard. Resolves the calling
+/// thread's logging context once, before blocking, so neither lock nor
+/// unlock pays the thread-local lookup inside the critical section.
 class PMutexLock {
  public:
-  explicit PMutexLock(PMutex* mutex) : mutex_(mutex) { mutex_->lock(); }
-  ~PMutexLock() { mutex_->unlock(); }
+  explicit PMutexLock(PMutex* mutex)
+      : mutex_(mutex), thread_(mutex->LoggingThread()) {
+    mutex_->LockWith(thread_);
+  }
+  ~PMutexLock() { mutex_->UnlockWith(thread_); }
 
   PMutexLock(const PMutexLock&) = delete;
   PMutexLock& operator=(const PMutexLock&) = delete;
 
  private:
   PMutex* mutex_;
+  AtlasThread* thread_;
 };
 
 }  // namespace tsp::atlas

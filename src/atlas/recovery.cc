@@ -19,8 +19,12 @@ namespace {
 struct UndoRecord {
   std::uint64_t seq;
   std::uint64_t addr_offset;
+  /// Old bytes for records of up to one word (size <= 8). Larger
+  /// records (kStoreRange) park their bytes in the recovery-local blob
+  /// arena and carry the blob's index here instead.
   std::uint64_t old_value;
-  std::uint8_t size;
+  std::uint32_t size;
+  std::int32_t blob = -1;
 };
 
 struct OcsRecord {
@@ -76,11 +80,19 @@ StatusOr<RecoveryStats> RecoverAtlas(pheap::PersistentHeap* heap) {
     // A heap that crashed before the Atlas area was ever formatted (or
     // that never used Atlas at all, e.g. the non-blocking case study):
     // the zeroed runtime area fails validation, and there is nothing to
-    // roll back. A partially formatted area is indistinguishable from
-    // garbage, so reject anything with a matching magic but bad shape.
-    const auto* header = static_cast<const AtlasAreaHeader*>(area_base);
-    if (area_size >= sizeof(AtlasAreaHeader) &&
-        header->magic == kAtlasMagic) {
+    // roll back. A log written by a newer producer gets a versioned
+    // error (its geometry cannot be guessed at); a partially formatted
+    // area is indistinguishable from garbage, so reject anything else
+    // with a matching magic but bad shape.
+    const std::uint32_t version = AtlasArea::VersionOf(area_base, area_size);
+    if (version > kAtlasFormatVersion) {
+      return Status::Corruption(
+          "Atlas log format version " + std::to_string(version) +
+          " is newer than this decoder (understands up to version " +
+          std::to_string(kAtlasFormatVersion) + "); recover with a newer "
+          "build");
+    }
+    if (version != 0) {
       return Status::Corruption("Atlas log area header is malformed");
     }
     return stats;
@@ -89,6 +101,8 @@ StatusOr<RecoveryStats> RecoverAtlas(pheap::PersistentHeap* heap) {
 
   // --- scan every ring and reconstruct OCS records ---
   std::vector<OcsRecord> records;
+  /// Old-bytes storage for variable-length (kStoreRange) undo records.
+  std::vector<std::vector<std::uint8_t>> blobs;
   std::unordered_map<std::uint64_t, std::size_t> index;  // packed → idx
   std::vector<std::uint32_t> thread_positions(area.max_threads(), 0);
   for (std::uint32_t t = 0; t < area.max_threads(); ++t) {
@@ -140,6 +154,39 @@ StatusOr<RecoveryStats> RecoverAtlas(pheap::PersistentHeap* heap) {
                                             entry->payload, entry->size});
           }
           break;
+        case EntryKind::kStoreRange: {
+          // Header entry followed by `aux` continuation entries of raw
+          // old bytes; the whole batch was published with one tail
+          // advance, so a header without its continuations is corrupt,
+          // not torn.
+          const std::uint64_t len = entry->payload;
+          if (len == 0 || len % 8 != 0 ||
+              entry->aux != RangeContinuationCount(len) ||
+              i + entry->aux >= tail) {
+            return Status::Corruption(
+                "malformed range undo record in ring");
+          }
+          if (open != nullptr) {
+            std::vector<std::uint8_t> bytes(len);
+            for (std::uint32_t c = 0; c < entry->aux; ++c) {
+              const std::uint64_t at =
+                  static_cast<std::uint64_t>(c) * kContinuationBytes;
+              const std::uint64_t take = len - at < kContinuationBytes
+                                             ? len - at
+                                             : kContinuationBytes;
+              std::memcpy(bytes.data() + at, area.entry(t, i + 1 + c),
+                          take);
+            }
+            open->undo.push_back(
+                UndoRecord{entry->seq, entry->addr_offset, 0,
+                           static_cast<std::uint32_t>(len),
+                           static_cast<std::int32_t>(blobs.size())});
+            blobs.push_back(std::move(bytes));
+          }
+          stats.entries_scanned += entry->aux;
+          i += entry->aux;  // skip the raw continuation entries
+          break;
+        }
         case EntryKind::kAlloc:
           break;  // leaked blocks are the recovery GC's concern
         case EntryKind::kOcsBegin:
@@ -147,9 +194,42 @@ StatusOr<RecoveryStats> RecoverAtlas(pheap::PersistentHeap* heap) {
           break;  // legacy kinds, no longer emitted
         case EntryKind::kInvalid:
           return Status::Corruption("invalid log entry kind in ring");
+        default:
+          return Status::Corruption(
+              "log entry kind " +
+              std::to_string(static_cast<int>(entry->kind)) +
+              " is newer than this decoder (understands up to kind " +
+              std::to_string(static_cast<int>(kMaxKnownEntryKind)) + ")");
       }
       // `records` may reallocate, but only when an OCS opens, which
       // immediately reassigns `open`; no stale pointer survives.
+    }
+  }
+
+  // --- harvest FliT counter slots ---
+  // Each armed slot is an undo record at a fixed location. A slot whose
+  // owning OCS is stable can never be needed; an odd version marks a
+  // torn rewrite, which is safe to skip because the slot update is
+  // ordered before the guarded store it protects (that store never
+  // executed). Every other slot joins its OCS's undo list. An OCS
+  // absent from the scan is safe to skip for one of two reasons: either
+  // it is stable (unstable OCS logs are never trimmed), or its staged
+  // kAcquire bracket was never published — and every capture path
+  // publishes the bracket *before* its guarded store executes, so an
+  // armed slot with no ring presence guards a store that never ran.
+  for (std::uint32_t t = 0; t < area.max_threads(); ++t) {
+    if (area.counter_slots_per_thread() == 0) break;
+    const std::uint64_t stable =
+        area.slot(t)->stable_ocs.load(std::memory_order_relaxed);
+    for (std::uint32_t s = 0; s < area.counter_slots_per_thread(); ++s) {
+      const CounterSlot& cs = area.counter_slots(t)[s];
+      if (cs.addr_offset == 0 || cs.ocs_id <= stable) continue;
+      if (cs.version.load(std::memory_order_relaxed) % 2 != 0) continue;
+      const auto it = index.find(PackThreadOcs(t, cs.ocs_id));
+      if (it == index.end()) continue;
+      ++stats.entries_scanned;
+      records[it->second].undo.push_back(
+          UndoRecord{cs.seq, cs.addr_offset, cs.old_value, 8});
     }
   }
 
@@ -242,14 +322,20 @@ StatusOr<RecoveryStats> RecoverAtlas(pheap::PersistentHeap* heap) {
   const pheap::MappedRegion* region = heap->region();
   for (const UndoRecord& record : undo) {
     if (record.addr_offset + record.size > region->size() ||
-        record.size > 8) {
+        record.addr_offset + record.size < record.addr_offset ||
+        (record.blob < 0 && record.size > 8)) {
       return Status::Corruption("undo record points outside the region");
     }
+    const void* old_bytes = record.blob >= 0
+                                ? static_cast<const void*>(
+                                      blobs[record.blob].data())
+                                : static_cast<const void*>(
+                                      &record.old_value);
     // Rollback is a blessed writer under TSPSan: it restores the logged
     // old value, which is by definition the logged state.
     pheap::ScopedWriteWindow window(region->FromOffset(record.addr_offset),
                                     record.size);
-    std::memcpy(region->FromOffset(record.addr_offset), &record.old_value,
+    std::memcpy(region->FromOffset(record.addr_offset), old_bytes,
                 record.size);
     ++stats.stores_undone;
   }
@@ -260,6 +346,12 @@ StatusOr<RecoveryStats> RecoverAtlas(pheap::PersistentHeap* heap) {
   TSP_COUNTER_ADD("recovery.stores_undone", stats.stores_undone);
 
   // --- reset the log area for the next session ---
+  if (area.counter_slots_per_thread() > 0) {
+    for (std::uint32_t t = 0; t < area.max_threads(); ++t) {
+      std::memset(static_cast<void*>(area.counter_slots(t)), 0,
+                  sizeof(CounterSlot) * area.counter_slots_per_thread());
+    }
+  }
   for (std::uint32_t t = 0; t < area.max_threads(); ++t) {
     ThreadLogHeader* slot = area.slot(t);
     slot->in_use.store(0, std::memory_order_relaxed);

@@ -60,7 +60,12 @@ Status AtlasRuntime::Initialize() {
   const std::size_t atlas_size =
       heap_->runtime_area_size() -
       obs::TraceReservationBytes(heap_->runtime_area_size());
-  if (!AtlasArea::Validate(heap_->runtime_area(), atlas_size)) {
+  if (!AtlasArea::Validate(heap_->runtime_area(), atlas_size) ||
+      AtlasArea::VersionOf(heap_->runtime_area(), atlas_size) <
+          kAtlasFormatVersion) {
+    // Unformatted, malformed, or an older-format area: reformat to the
+    // current version — safe here because Initialize only runs on heaps
+    // with nothing to roll back.
     if (AtlasArea::Format(heap_->runtime_area(), atlas_size,
                           kDefaultMaxThreads) == 0) {
       return Status::InvalidArgument(
@@ -84,6 +89,15 @@ Status AtlasRuntime::Initialize() {
     slot->committed_ocs.store(next - 1, std::memory_order_relaxed);
     slot->stable_ocs.store(next - 1, std::memory_order_relaxed);
   }
+  // Counter slots hold old values of a dead session's OCSes (all
+  // stable after a clean shutdown); empty them so stale occupancy never
+  // blocks the fast path.
+  if (area_.counter_slots_per_thread() > 0) {
+    for (std::uint32_t t = 0; t < area_.max_threads(); ++t) {
+      std::memset(static_cast<void*>(area_.counter_slots(t)), 0,
+                  sizeof(CounterSlot) * area_.counter_slots_per_thread());
+    }
+  }
   stability_ = std::make_unique<StabilityManager>(
       area_, area_.max_threads(), [this](void* p) { heap_->Free(p); });
   initialized_ = true;
@@ -95,6 +109,14 @@ Status AtlasRuntime::Initialize() {
                             stats.log_entries_appended);
         builder->AddCounter("atlas.undo_records", stats.undo_records);
         builder->AddCounter("atlas.dedup_hits", stats.dedup_hits);
+        builder->AddCounter("atlas.line_dedup_hits", stats.line_dedup_hits);
+        builder->AddCounter("atlas.elided_fresh", stats.elided_fresh);
+        builder->AddCounter("atlas.range_records", stats.range_records);
+        builder->AddCounter("atlas.flit_repeat_hits",
+                            stats.flit_repeat_hits);
+        builder->AddCounter("atlas.flit_rearms", stats.flit_rearms);
+        builder->AddCounter("atlas.addrset_shrinks",
+                            stats.addrset_shrinks);
         builder->AddCounter("atlas.ocses_committed", stats.ocses_committed);
         builder->AddCounter("atlas.fast_path_commits",
                             stats.fast_path_commits);
@@ -133,6 +155,12 @@ AtlasRuntimeStats AtlasRuntime::GetStats() {
     total.log_entries_appended += s.log_entries_appended;
     total.undo_records += s.undo_records;
     total.dedup_hits += s.dedup_hits;
+    total.line_dedup_hits += s.line_dedup_hits;
+    total.elided_fresh += s.elided_fresh;
+    total.range_records += s.range_records;
+    total.flit_repeat_hits += s.flit_repeat_hits;
+    total.flit_rearms += s.flit_rearms;
+    total.addrset_shrinks += s.addrset_shrinks;
     total.ocses_committed += s.ocses_committed;
     total.fast_path_commits += s.fast_path_commits;
     total.published_commits += s.published_commits;
@@ -200,42 +228,158 @@ AtlasThread::AtlasThread(AtlasRuntime* runtime, std::uint16_t thread_id)
       thread_id_(thread_id) {
   obs::Recorder* recorder = runtime->heap()->recorder();
   if (recorder != nullptr) trace_ = recorder->writer();
+  // The FliT fast path needs a power-of-two slot count for the
+  // direct-mapped index; any other value (including 0 on areas too
+  // small for the carve-out, or legacy v1 areas) just disables it.
+  const std::uint32_t slots = runtime->area().counter_slots_per_thread();
+  if (runtime->use_counter_slots() && slots > 0 &&
+      (slots & (slots - 1)) == 0) {
+    counter_slots_ = runtime->area().counter_slots(thread_id);
+    counter_slot_mask_ = slots - 1;
+  }
 }
 
-void AtlasThread::StageOldValue(const void* addr, std::uint8_t size) {
-  const std::uint64_t offset = runtime_->heap()->region()->ToOffset(addr);
-  if (!logged_addresses_.InsertIfAbsent(offset)) {
+bool AtlasThread::IsFreshSpan(std::uint64_t word_offset,
+                              std::uint64_t len) const {
+  for (const auto& span : fresh_spans_) {
+    if (word_offset >= span.first && word_offset + len <= span.second) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void AtlasThread::ArmCounterSlot(CounterSlot& cs, std::uint64_t word_offset) {
+  std::uint64_t old_value;
+  std::memcpy(&old_value,
+              runtime_->heap()->region()->FromOffset(word_offset), 8);
+  // Seqlock update: recovery skips odd-version slots. Only persistence
+  // order matters (the slot is thread-private; recovery reads it after
+  // the process is dead), and a cache line persists writes in program
+  // order, so a recovered slot is either the old state, odd + partial,
+  // or the complete new state — never new fields under an old even
+  // version. The fences pin the compiler to that program order.
+  const std::uint64_t v = cs.version.load(std::memory_order_relaxed);
+  cs.version.store(v + 1, std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_release);
+  cs.addr_offset = word_offset;
+  cs.old_value = old_value;
+  cs.ocs_id = current_ocs_;
+  cs.seq = IssueSeq();
+  cs.version.store(v + 2, std::memory_order_release);
+  ++stats_.flit_rearms;
+  // The slot *is* the undo record, so in sync-flush mode it must be
+  // durable before the guarded store executes, exactly like a ring
+  // record (no-op under TSP log-only).
+  runtime_->policy().PersistLogBytes(&cs, sizeof(cs), /*ordered=*/true);
+}
+
+void AtlasThread::StageWord(std::uint64_t word_offset) {
+  // FliT-style logged counter: one predictable-branch probe before the
+  // AddressSet. A slot armed for this word in the current OCS means the
+  // old value is already captured (the common repeat-store); a slot
+  // whose occupant OCS is stable can never be rolled back, so it is
+  // free to be re-armed for this word — one L1-resident line write
+  // instead of a 32-byte ring append. Unstable occupants fall through
+  // to the ring path (their old value may still be needed).
+  if (counter_slot_mask_ != 0) {
+    CounterSlot& cs =
+        counter_slots_[((word_offset >> 3) * 0x9e3779b97f4a7c15ULL >> 32) &
+                       counter_slot_mask_];
+    if (cs.addr_offset == word_offset && cs.ocs_id == current_ocs_) {
+      ++stats_.flit_repeat_hits;
+      ++stats_.dedup_hits;
+      return;
+    }
+    if (cs.ocs_id <=
+        slot_->stable_ocs.load(std::memory_order_relaxed)) {
+      ArmCounterSlot(cs, word_offset);
+      return;
+    }
+  }
+  const AddressSet::Probe probe = logged_addresses_.CoverWord(word_offset);
+  if (probe.line_hit) ++stats_.line_dedup_hits;
+  if (!probe.newly_covered) {
     ++stats_.dedup_hits;
     return;
   }
-  std::uint64_t old_value = 0;
-  std::memcpy(&old_value, addr, size);
+  std::uint64_t old_value;
+  std::memcpy(&old_value,
+              runtime_->heap()->region()->FromOffset(word_offset), 8);
   ++stats_.undo_records;
-  StageEntry(EntryKind::kStore, size, 0, offset, old_value);
+  StageEntry(EntryKind::kStore, 8, 0, word_offset, old_value);
+}
+
+bool AtlasThread::StageOldValue(const void* addr, std::uint8_t size) {
+  // Undo coverage is tracked at aligned-word granularity (the AddressSet
+  // line masks and the counter slots both assert "this whole word is
+  // captured"), so every store decomposes into full 8-byte words — a
+  // sub-word capture under word-granular tracking would elide bytes
+  // that were never saved. Restoring the extra bytes is safe: they hold
+  // the word's value at first-capture time, and reverse-stamp replay
+  // makes the oldest capture win.
+  const std::uint64_t offset = runtime_->heap()->region()->ToOffset(addr);
+  const std::uint64_t first = offset & ~7ULL;
+  const std::uint64_t end = (offset + size + 7) & ~7ULL;
+  if (!fresh_spans_.empty() && IsFreshSpan(first, end - first)) {
+    ++stats_.elided_fresh;
+    return false;  // no coverage needed; the bracket may stay staged
+  }
+  for (std::uint64_t word = first; word < end; word += 8) StageWord(word);
+  return true;
+}
+
+void AtlasThread::StageRange(std::uint64_t word_offset, std::uint64_t len) {
+  const std::uint32_t continuations =
+      static_cast<std::uint32_t>(RangeContinuationCount(len));
+  ++stats_.undo_records;
+  ++stats_.range_records;
+  StageEntry(EntryKind::kStoreRange, 0, continuations, word_offset, len);
+  const char* old_bytes = static_cast<const char*>(
+      runtime_->heap()->region()->FromOffset(word_offset));
+  for (std::uint32_t c = 0; c < continuations; ++c) {
+    LogEntry* raw = ReserveEntry();
+    const std::uint64_t at = static_cast<std::uint64_t>(c) *
+                             kContinuationBytes;
+    const std::uint64_t take =
+        len - at < kContinuationBytes ? len - at : kContinuationBytes;
+    if (take < kContinuationBytes) std::memset(raw, 0, sizeof(LogEntry));
+    std::memcpy(raw, old_bytes + at, take);
+  }
 }
 
 void AtlasThread::LogOldValue(const void* addr, std::uint8_t size) {
-  StageOldValue(addr, size);
-  PublishStaged(/*ordered=*/true);
+  if (StageOldValue(addr, size)) PublishStaged(/*ordered=*/true);
 }
 
 void AtlasThread::StoreBytes(void* dst, const void* src, std::size_t n) {
-  if (depth_ > 0) {
-    // Stage the undo records for every not-yet-logged word of the range,
-    // then publish them as one batch: a single tail advance and, in
-    // sync-flush mode, one contiguous write-back plus one fence — the
-    // whole batch is durable before any of the guarded stores execute
-    // (§4.2), at a fraction of the per-entry flush + fence cost.
-    const auto* cursor = static_cast<const char*>(dst);
-    std::size_t remaining = n;
-    while (remaining > 0) {
-      const std::uint8_t chunk =
-          static_cast<std::uint8_t>(remaining < 8 ? remaining : 8);
-      StageOldValue(cursor, chunk);
-      cursor += chunk;
-      remaining -= chunk;
+  if (depth_ > 0 && n > 0) {
+    // Stage undo coverage for the whole word-aligned span, then publish
+    // as one batch: a single tail advance and, in sync-flush mode, one
+    // contiguous write-back plus one fence — the whole batch is durable
+    // before any of the guarded stores execute (§4.2). Ranges beyond
+    // two words become one variable-length kStoreRange record (header
+    // plus raw-byte continuation entries) instead of a header per word.
+    const std::uint64_t offset =
+        runtime_->heap()->region()->ToOffset(dst);
+    const std::uint64_t first = offset & ~7ULL;
+    const std::uint64_t end = (offset + n + 7) & ~7ULL;
+    const std::uint64_t len = end - first;
+    if (!fresh_spans_.empty() && IsFreshSpan(first, len)) {
+      ++stats_.elided_fresh;  // no coverage needed; bracket stays staged
+    } else {
+      if (len <= 16) {
+        for (std::uint64_t word = first; word < end; word += 8) {
+          StageWord(word);
+        }
+      } else if (logged_addresses_.CoverRange(first, len)) {
+        ++stats_.dedup_hits;
+        ++stats_.line_dedup_hits;
+      } else {
+        StageRange(first, len);
+      }
+      PublishStaged(/*ordered=*/true);
     }
-    PublishStaged(/*ordered=*/true);
   }
   pheap::ScopedWriteWindow window(dst, n);
   std::memcpy(dst, src, n);
@@ -258,15 +402,50 @@ std::uint64_t AtlasThread::IssueSeq() {
   return seq;
 }
 
+void AtlasThread::BeginOcs(std::uint32_t lock_id) {
+  // next_ocs is owned by this thread (recovery resets it only with the
+  // process dead), so a plain load + store replaces the locked RMW a
+  // fetch_add would cost on the hot path.
+  const std::uint64_t next = slot_->next_ocs.load(std::memory_order_relaxed);
+  slot_->next_ocs.store(next + 1, std::memory_order_relaxed);
+  current_ocs_ = next;
+  const std::uint64_t shrinks_before = logged_addresses_.shrinks();
+  logged_addresses_.NewEpoch();
+  stats_.addrset_shrinks += logged_addresses_.shrinks() - shrinks_before;
+  fresh_spans_.clear();
+  current_deps_.clear();
+  current_ocs_begin_tail_ = slot_->tail.load(std::memory_order_relaxed);
+  // Stage — do not publish — the opening kAcquire. Every undo capture
+  // publishes it before its guarded store executes (ring presence is
+  // what lets recovery attribute counter-slot captures to this OCS), so
+  // a crash can never see a capture without the bracket. An OCS that
+  // captures nothing never pays the publish at all: with no guarded
+  // old-value to restore and no committed successor able to observe it
+  // (commit discards or trims the bracket before the mutex is
+  // released), recovery has nothing to learn from it. The dependency
+  // edge is patched in by OnAcquire once the lock is actually held.
+  staged_acquire_ =
+      StageEntry(EntryKind::kAcquire, 0, lock_id, current_ocs_, 0);
+  // The kOcsBegin trace event is deferred to the first publication
+  // (PublishStaged) so the recorder's open-span story matches the
+  // ring's: an OCS that never publishes is invisible to recovery, and
+  // must be invisible to the post-crash trace cross-reference too.
+  ocs_trace_open_ = false;
+  ocs_lock_id_ = lock_id;
+}
+
+void AtlasThread::OnAcquirePrep(std::uint32_t lock_id) {
+  if (depth_ != 0 || acquire_prepped_) return;
+  BeginOcs(lock_id);
+  acquire_prepped_ = true;
+}
+
 void AtlasThread::OnAcquire(PLockWord* lock, std::uint32_t lock_id) {
   pheap::TspSanitizer::NoteOcsDepth(depth_ + 1);
-  if (depth_++ == 0) {
-    current_ocs_ = slot_->next_ocs.fetch_add(1, std::memory_order_relaxed);
-    logged_addresses_.NewEpoch();
-    current_deps_.clear();
-    current_ocs_begin_tail_ = slot_->tail.load(std::memory_order_relaxed);
-    TSP_TRACE_EVENT(trace_, obs::EventCode::kOcsBegin,
-                    PackThreadOcs(thread_id_, current_ocs_), 0, lock_id);
+  const bool outermost = depth_++ == 0;
+  if (outermost) {
+    if (!acquire_prepped_) BeginOcs(lock_id);
+    acquire_prepped_ = false;
   }
   // Lamport resync: adopt the previous releaser's stamp frontier. If it
   // overtook our lease, discard the lease's remainder so the next stamp
@@ -289,8 +468,12 @@ void AtlasThread::OnAcquire(PLockWord* lock, std::uint32_t lock_id) {
   // Record a dependency edge unless the previous releasing OCS can
   // never be rolled back (already stable) or is our own (same-thread
   // program order is an implicit dependency recovery always honors).
+  // The kLastReleaseStable flag is the releaser pre-answering the
+  // stability question, saving the StableOcsOf load — a cross-core
+  // cache miss on contended locks — on the common path.
   std::uint64_t recorded_dep = 0;
-  if (dep != 0 && UnpackThread(dep) != thread_id_ &&
+  if (dep != 0 && (dep & kLastReleaseStable) == 0 &&
+      UnpackThread(dep) != thread_id_ &&
       UnpackOcs(dep) > runtime_->StableOcsOf(UnpackThread(dep))) {
     recorded_dep = dep;
     current_deps_.push_back(dep);
@@ -298,62 +481,119 @@ void AtlasThread::OnAcquire(PLockWord* lock, std::uint32_t lock_id) {
   }
   // The acquire entry both opens the OCS (at nesting depth 0) and
   // carries the dependency edge; recovery reconstructs OCS boundaries
-  // from acquire/release nesting, as Atlas does.
-  AppendEntry(EntryKind::kAcquire, 0, lock_id, current_ocs_, recorded_dep);
+  // from acquire/release nesting, as Atlas does. The outermost entry
+  // was staged by BeginOcs and is still unpublished here, so the dep
+  // can be patched in place; nested acquires append (and thereby also
+  // publish anything staged).
+  if (outermost) {
+    staged_acquire_->payload = recorded_dep;
+    staged_acquire_ = nullptr;  // patched; never touch it post-publish
+  } else {
+    AppendEntry(EntryKind::kAcquire, 0, lock_id, current_ocs_, recorded_dep);
+  }
 }
 
-void AtlasThread::OnRelease(PLockWord* lock, std::uint32_t lock_id) {
+void AtlasThread::OnReleaseBegin(PLockWord* lock, std::uint32_t lock_id) {
   TSP_DCHECK_GT(depth_, 0);
   pheap::TspSanitizer::NoteOcsDepth(depth_ - 1);
-  AppendEntry(EntryKind::kRelease, 0, lock_id, current_ocs_, current_ocs_);
-  // Publish ourselves as the last releaser while still holding the
-  // mutex: the next acquirer depends on this OCS, and must order every
-  // stamp it issues after this acquire past our whole causal past
-  // (seq_frontier_, not just our own issued stamps — an OCS that issues
-  // no stamps still relays frontiers it observed).
-  lock->release_seq.store(seq_frontier_, std::memory_order_release);
-  lock->last_release.store(PackThreadOcs(thread_id_, current_ocs_),
-                           std::memory_order_release);
+  // Fast-path eligibility: outermost, dependency-free, nothing deferred,
+  // and every earlier OCS of this thread already stable. Decided before
+  // the release entry would be written, because the fast path never
+  // writes one: the inline trim would erase it in the same breath, and
+  // a crash before the trim simply rolls the OCS back — the mutex is
+  // still held here, so no thread has observed its writes.
+  fast_commit_ = depth_ == 1 && current_deps_.empty() &&
+                 current_deferred_frees_.empty() &&
+                 slot_->stable_ocs.load(std::memory_order_relaxed) ==
+                     current_ocs_ - 1;
+  if (!fast_commit_) {
+    // Also publishes any still-staged bracket entries: an OCS that
+    // stays in the ring for the pruner needs its full bracket there.
+    AppendEntry(EntryKind::kRelease, 0, lock_id, current_ocs_, current_ocs_);
+  }
   if (--depth_ == 0) {
     // The outermost release IS the commit record.
-    ++stats_.ocses_committed;
     slot_->committed_ocs.store(current_ocs_, std::memory_order_release);
-    if (current_deps_.empty() && current_deferred_frees_.empty() &&
-        slot_->stable_ocs.load(std::memory_order_relaxed) ==
-            current_ocs_ - 1) {
-      // Fast path: no dependencies and every earlier OCS of this thread
-      // is already stable, so this OCS is immediately immune to
-      // rollback — trim its log right away, no pruner involvement. (The
-      // pruner cannot race: our pending queue is provably empty here.)
+    if (fast_commit_) {
+      // Immediately immune to rollback: trim inline, before the mutex
+      // is released, so the next acquirer observes this OCS stable and
+      // records no dependency edge. Unpublished bracket entries are
+      // simply dropped. (The pruner cannot race: our pending queue is
+      // provably empty here.)
+      staged_ = 0;
       slot_->stable_ocs.store(current_ocs_, std::memory_order_release);
       slot_->head.store(slot_->tail.load(std::memory_order_relaxed),
                         std::memory_order_release);
       ++stats_.fast_path_commits;
-      TSP_TRACE_EVENT(trace_, obs::EventCode::kOcsCommit,
-                      PackThreadOcs(thread_id_, current_ocs_), 0,
-                      /*aux=*/1);  // fast-path commit
-    } else {
-      ++stats_.published_commits;
-      TSP_TRACE_EVENT(trace_, obs::EventCode::kOcsCommit,
-                      PackThreadOcs(thread_id_, current_ocs_), 0,
-                      /*aux=*/0);  // published to the pruner
-      runtime_->stability()->Publish(
-          thread_id_,
-          CommittedOcs{current_ocs_,
-                       slot_->tail.load(std::memory_order_relaxed),
-                       std::move(current_deps_),
-                       std::move(current_deferred_frees_)});
-      current_deps_.clear();
-      current_deferred_frees_.clear();
     }
-    current_ocs_ = 0;
+    if (ocs_trace_open_) {
+      // Only OCSes that became ring-visible emitted a begin event;
+      // close exactly those (aux distinguishes fast-path from
+      // published), and do it here — still before the mutex is
+      // released — so the recorder's commit cannot trail the ring's by
+      // a futex wake-up: a kill in that window would make the recorder
+      // claim an open span recovery never rolls back.
+      ocs_trace_open_ = false;
+      TSP_TRACE_EVENT(trace_, obs::EventCode::kOcsCommit,
+                      PackThreadOcs(thread_id_, current_ocs_), 0,
+                      fast_commit_ ? 1 : 0);
+    }
+    finish_pending_ = true;
   }
+  // Publish ourselves as the last releaser while still holding the
+  // mutex: the next acquirer depends on this OCS, and must order every
+  // stamp it issues after this acquire past our whole causal past
+  // (seq_frontier_, not just our own issued stamps — an OCS that issues
+  // no stamps still relays frontiers it observed). Runs after the
+  // commit block so a fast-path commit can vouch for its own stability
+  // (kLastReleaseStable) only once the inline trim is already done.
+  lock->release_seq.store(seq_frontier_, std::memory_order_release);
+  lock->last_release.store(PackThreadOcs(thread_id_, current_ocs_) |
+                               (fast_commit_ ? kLastReleaseStable : 0),
+                           std::memory_order_release);
+}
+
+void AtlasThread::OnReleaseFinish() {
+  if (!finish_pending_) return;
+  finish_pending_ = false;
+  ++stats_.ocses_committed;
+  if (!fast_commit_) {
+    ++stats_.published_commits;
+    runtime_->stability()->Publish(
+        thread_id_,
+        CommittedOcs{current_ocs_,
+                     slot_->tail.load(std::memory_order_relaxed),
+                     std::move(current_deps_),
+                     std::move(current_deferred_frees_)});
+    current_deps_.clear();
+    current_deferred_frees_.clear();
+  }
+  fresh_spans_.clear();
+  current_ocs_ = 0;
+}
+
+void AtlasThread::OnRelease(PLockWord* lock, std::uint32_t lock_id) {
+  OnReleaseBegin(lock, lock_id);
+  OnReleaseFinish();
 }
 
 void AtlasThread::NoteAlloc(const void* payload, std::uint32_t type_id) {
   if (depth_ == 0) return;
-  AppendEntry(EntryKind::kAlloc, 0, type_id,
-              runtime_->heap()->region()->ToOffset(payload), current_ocs_);
+  const std::uint64_t offset =
+      runtime_->heap()->region()->ToOffset(payload);
+  // Register the payload span as OCS-fresh: stores into it skip undo
+  // logging entirely (StageOldValue). If this OCS rolls back, the store
+  // that would have published the object is undone with it, and the
+  // recovery GC reclaims the unreachable span.
+  const std::uint64_t payload_bytes =
+      pheap::Allocator::HeaderOf(payload)->size() -
+      sizeof(pheap::BlockHeader);
+  fresh_spans_.emplace_back(offset, offset + payload_bytes);
+  // Staged, not published: the marker is diagnostics-only (recovery
+  // reclaims leaked blocks by reachability), so it rides along with the
+  // next capture's publish — or is dropped with the bracket when a
+  // capture-free OCS fast-commits.
+  StageEntry(EntryKind::kAlloc, 0, type_id, offset, current_ocs_);
 }
 
 void AtlasThread::DeferFree(void* payload) {
@@ -364,10 +604,7 @@ void AtlasThread::DeferFree(void* payload) {
   current_deferred_frees_.push_back(payload);
 }
 
-LogEntry* AtlasThread::StageEntry(EntryKind kind, std::uint8_t size,
-                                  std::uint32_t aux,
-                                  std::uint64_t addr_offset,
-                                  std::uint64_t payload) {
+LogEntry* AtlasThread::ReserveEntry() {
   const std::uint64_t capacity = runtime_->area().entries_per_thread();
   const std::uint64_t position =
       slot_->tail.load(std::memory_order_relaxed) + staged_;
@@ -378,7 +615,14 @@ LogEntry* AtlasThread::StageEntry(EntryKind kind, std::uint8_t size,
     HandleRingFull();
   }
   ++staged_;
-  LogEntry* entry = runtime_->area().entry(thread_id_, position);
+  return runtime_->area().entry(thread_id_, position);
+}
+
+LogEntry* AtlasThread::StageEntry(EntryKind kind, std::uint8_t size,
+                                  std::uint32_t aux,
+                                  std::uint64_t addr_offset,
+                                  std::uint64_t payload) {
+  LogEntry* entry = ReserveEntry();
   entry->addr_offset = addr_offset;
   entry->payload = payload;
   entry->kind = kind;
@@ -389,7 +633,9 @@ LogEntry* AtlasThread::StageEntry(EntryKind kind, std::uint8_t size,
   // replay; they are stamped from the thread's leased block. Release
   // entries record the stamp frontier for diagnostics (tsp_inspect);
   // other control entries carry no stamp.
-  entry->seq = kind == EntryKind::kStore    ? IssueSeq()
+  entry->seq = kind == EntryKind::kStore ||
+                       kind == EntryKind::kStoreRange
+                   ? IssueSeq()
                : kind == EntryKind::kRelease ? seq_frontier_
                                              : 0;
   return entry;
@@ -401,6 +647,13 @@ void AtlasThread::PublishStaged(bool ordered) {
   staged_ = 0;
   const std::uint64_t first = slot_->tail.load(std::memory_order_relaxed);
   stats_.log_entries_appended += count;
+  if (TSP_PREDICT_FALSE(!ocs_trace_open_ && depth_ > 0)) {
+    // First publication makes the OCS ring-visible; that is the moment
+    // it "begins" as far as crash recovery can ever tell.
+    ocs_trace_open_ = true;
+    TSP_TRACE_EVENT(trace_, obs::EventCode::kOcsBegin,
+                    PackThreadOcs(thread_id_, current_ocs_), 0, ocs_lock_id_);
+  }
   if (count > 1) {
     ++stats_.batched_publishes;
     TSP_TRACE_EVENT(trace_, obs::EventCode::kLogBatchPublish,

@@ -58,6 +58,22 @@ struct AtlasRuntimeStats {
   std::uint64_t log_entries_appended = 0;
   std::uint64_t undo_records = 0;
   std::uint64_t dedup_hits = 0;  // stores filtered by first-store-per-OCS
+  /// Dedup probes that landed on an already-present cache-line slot
+  /// (adjacent-field or repeat stores sharing one line entry).
+  std::uint64_t line_dedup_hits = 0;
+  /// Stores elided because their target was allocated inside the
+  /// current OCS (rollback unreaches fresh objects; GC reclaims them).
+  std::uint64_t elided_fresh = 0;
+  /// kStoreRange records staged (each replaces len/8 word records).
+  std::uint64_t range_records = 0;
+  /// FliT counter-slot fast path: repeat stores absorbed by a slot
+  /// already armed for the same word in the current OCS (no AddressSet
+  /// probe, no record), and slots (re-)armed in place of a ring append.
+  std::uint64_t flit_repeat_hits = 0;
+  std::uint64_t flit_rearms = 0;
+  /// AddressSet tables retired back to their initial capacity after a
+  /// run of quiet epochs (the unbounded-growth fix).
+  std::uint64_t addrset_shrinks = 0;
   std::uint64_t ocses_committed = 0;
   std::uint64_t fast_path_commits = 0;  // trimmed inline at commit
   std::uint64_t published_commits = 0;  // handed to the pruner
@@ -86,6 +102,16 @@ struct PLockWord {
   std::atomic<std::uint64_t> last_release{0};
   std::atomic<std::uint64_t> release_seq{0};
 };
+
+/// Flag folded into PLockWord::last_release (bit 47, far above any real
+/// OCS id): the releasing OCS was already stable when it released, so
+/// acquirers skip the dependency edge without touching the releaser's
+/// log header — on contended locks that read is a guaranteed cross-core
+/// cache miss inside the critical section. The bit never reaches the
+/// ring: a stable releaser records no dependency at all. Safe because
+/// stability is monotone and the releaser sets the bit only after its
+/// inline trim, which happens before the mutex can change hands.
+constexpr std::uint64_t kLastReleaseStable = 1ULL << 47;
 
 /// Per-thread logging context. Obtain via AtlasRuntime::CurrentThread();
 /// owned by the runtime.
@@ -122,8 +148,27 @@ class AtlasThread {
   void OnAcquire(PLockWord* lock, std::uint32_t lock_id);
   void OnRelease(PLockWord* lock, std::uint32_t lock_id);
 
-  /// Records an allocation made inside the current OCS (diagnostics;
-  /// reclamation is the recovery GC's job either way).
+  /// Optional split hooks that keep the mutex hold time short (the
+  /// contended-lock lever: under convoying, every instruction inside
+  /// the critical section multiplies). PMutex calls OnAcquirePrep
+  /// *before* blocking on its mutex — it runs the thread-private
+  /// begin-of-OCS work (epoch reset, OCS id, staging the kAcquire
+  /// entry) so OnAcquire only has the work that genuinely needs the
+  /// lock (Lamport resync + dependency edge). Symmetrically,
+  /// OnReleaseBegin is the in-lock half of OnRelease and
+  /// OnReleaseFinish runs the commit bookkeeping (stats, trace, pruner
+  /// publication) after the mutex is dropped. OnAcquire/OnRelease
+  /// remain self-sufficient for callers that do not split.
+  void OnAcquirePrep(std::uint32_t lock_id);
+  void OnReleaseBegin(PLockWord* lock, std::uint32_t lock_id);
+  void OnReleaseFinish();
+
+  /// Records an allocation made inside the current OCS. Beyond the
+  /// kAlloc marker record (diagnostics; reclamation is the recovery
+  /// GC's job either way), this registers the block's payload span as
+  /// *OCS-fresh*: stores into it need no undo record, because rollback
+  /// undoes the store that would have published the object and the
+  /// recovery GC then reclaims the unreachable span.
   void NoteAlloc(const void* payload, std::uint32_t type_id);
 
   /// Frees `payload` once the current OCS can never be rolled back
@@ -144,8 +189,28 @@ class AtlasThread {
 
  private:
   void LogOldValue(const void* addr, std::uint8_t size);
-  /// Dedup-filters and stages (without publishing) one undo record.
-  void StageOldValue(const void* addr, std::uint8_t size);
+  /// Stages undo coverage for the aligned word span containing
+  /// [addr, addr + size): fresh-span elision, then per-word staging.
+  /// Returns false when the span was fresh-elided (nothing needs to be
+  /// durable before the guarded store, so staged bracket entries may
+  /// stay unpublished).
+  bool StageOldValue(const void* addr, std::uint8_t size);
+  /// Stages coverage for one aligned 8-byte word: FliT counter-slot
+  /// probe first, then line-granular dedup + ring record.
+  void StageWord(std::uint64_t word_offset);
+  /// Claims or re-arms a counter slot for `word_offset` (occupant known
+  /// stable): captures the old word and stamps the slot, with no ring
+  /// traffic.
+  void ArmCounterSlot(CounterSlot& cs, std::uint64_t word_offset);
+  /// Stages one kStoreRange header plus its raw-byte continuation
+  /// entries covering [word_offset, word_offset + len).
+  void StageRange(std::uint64_t word_offset, std::uint64_t len);
+  /// True if [word_offset, word_offset + len) lies inside a block
+  /// allocated in the current OCS.
+  bool IsFreshSpan(std::uint64_t word_offset, std::uint64_t len) const;
+  /// Reserves the ring slot at tail + staged count (waiting on
+  /// HandleRingFull when the ring is full) without writing it.
+  LogEntry* ReserveEntry();
   /// Writes one entry at tail + staged count; visible only after
   /// PublishStaged. Waits on HandleRingFull when the ring is full.
   LogEntry* StageEntry(EntryKind kind, std::uint8_t size, std::uint32_t aux,
@@ -160,6 +225,10 @@ class AtlasThread {
   /// a fresh block from the shared counter when the lease is spent.
   std::uint64_t IssueSeq();
   void HandleRingFull();
+  /// Thread-private begin-of-OCS work shared by OnAcquirePrep and the
+  /// unsplit OnAcquire: OCS id, epoch reset, span/dep clears, and
+  /// staging (not publishing) the outermost kAcquire entry.
+  void BeginOcs(std::uint32_t lock_id);
 
   AtlasRuntime* runtime_;
   ThreadLogHeader* slot_;
@@ -185,8 +254,36 @@ class AtlasThread {
   /// catches up to it while full, the OCS alone overflows the ring.
   std::uint64_t current_ocs_begin_tail_ = 0;
   AddressSet logged_addresses_;
+  /// Persistent FliT counter-slot array of this thread (null when the
+  /// area was formatted without slots) and its power-of-two index mask.
+  CounterSlot* counter_slots_ = nullptr;
+  std::uint32_t counter_slot_mask_ = 0;
+  /// Payload spans [begin, end) allocated inside the current OCS;
+  /// cleared at every OCS boundary. Almost always empty or tiny (one
+  /// entry per allocation in the OCS), so containment is a linear scan.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> fresh_spans_;
   std::vector<std::uint64_t> current_deps_;
   std::vector<void*> current_deferred_frees_;
+  /// The outermost kAcquire entry, staged by BeginOcs but published
+  /// lazily — with the first undo capture (every capture publishes
+  /// before its guarded store) or by the first nested append. An OCS
+  /// that captures nothing never publishes it: a crash then has nothing
+  /// to roll back, and a fast-path commit just discards the stage. The
+  /// pointer stays valid until published (only this thread stages).
+  LogEntry* staged_acquire_ = nullptr;
+  /// True between OnAcquirePrep and the matching OnAcquire: BeginOcs
+  /// already ran for the OCS about to open.
+  bool acquire_prepped_ = false;
+  /// Commit state carried from OnReleaseBegin to OnReleaseFinish.
+  bool fast_commit_ = false;
+  bool finish_pending_ = false;
+  /// True once the current OCS emitted its kOcsBegin trace event —
+  /// deferred to the first publication so the recorder's open-span
+  /// story matches what recovery can see in the ring. Capture-free
+  /// OCSes emit neither begin nor commit.
+  bool ocs_trace_open_ = false;
+  /// Lock id of the outermost acquire, for the deferred begin event.
+  std::uint32_t ocs_lock_id_ = 0;
   AtlasRuntimeStats stats_;
 };
 
@@ -206,6 +303,11 @@ class AtlasRuntime {
     /// degenerates to the dense per-entry scheme (useful as an
     /// ablation); 0 is clamped to 1.
     std::uint32_t seq_block_size = 64;
+    /// FliT-style logged counter slots: when false, threads skip the
+    /// per-object counter-slot probe and every first store per OCS goes
+    /// to the ring (the pre-slot behavior). Ablation knob for measuring
+    /// the slot win, and for tests that assert on raw ring contents.
+    bool use_counter_slots = true;
   };
 
   AtlasRuntime(pheap::PersistentHeap* heap, PersistencePolicy policy);
@@ -252,6 +354,7 @@ class AtlasRuntime {
   }
 
   std::uint32_t seq_block_size() const { return options_.seq_block_size; }
+  bool use_counter_slots() const { return options_.use_counter_slots; }
 
   /// Hands out process-unique lock ids for diagnostics.
   std::uint32_t AssignLockId() {

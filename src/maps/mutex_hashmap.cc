@@ -77,8 +77,10 @@ std::uint64_t MutexHashMap::Hash(std::uint64_t key) {
 
 void MutexHashMap::Put(std::uint64_t key, std::uint64_t value) {
   const std::uint64_t bucket = BucketOf(key);
-  atlas::PMutexLock lock(LockFor(bucket));
+  // Resolve the thread-local logging context before taking the lock so
+  // the scan stays out of the critical section.
   atlas::AtlasThread* thread = Thread();
+  atlas::PMutexLock lock(LockFor(bucket));
   HashEntry** head = &root_->buckets->buckets[bucket];
   for (HashEntry* entry = *head; entry != nullptr; entry = entry->next) {
     if (entry->key == key) {
@@ -111,8 +113,8 @@ std::optional<std::uint64_t> MutexHashMap::Get(std::uint64_t key) const {
 std::uint64_t MutexHashMap::IncrementBy(std::uint64_t key,
                                         std::uint64_t delta) {
   const std::uint64_t bucket = BucketOf(key);
-  atlas::PMutexLock lock(LockFor(bucket));
   atlas::AtlasThread* thread = Thread();
+  atlas::PMutexLock lock(LockFor(bucket));
   HashEntry** head = &root_->buckets->buckets[bucket];
   for (HashEntry* entry = *head; entry != nullptr; entry = entry->next) {
     if (entry->key == key) {
@@ -134,8 +136,8 @@ std::uint64_t MutexHashMap::IncrementBy(std::uint64_t key,
 
 bool MutexHashMap::Remove(std::uint64_t key) {
   const std::uint64_t bucket = BucketOf(key);
-  atlas::PMutexLock lock(LockFor(bucket));
   atlas::AtlasThread* thread = Thread();
+  atlas::PMutexLock lock(LockFor(bucket));
   HashEntry** link = &root_->buckets->buckets[bucket];
   for (HashEntry* entry = *link; entry != nullptr; entry = entry->next) {
     if (entry->key == key) {

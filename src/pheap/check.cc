@@ -222,9 +222,24 @@ CheckReport CheckHeap(const PersistentHeap& heap,
       const std::uint64_t entries_bytes =
           static_cast<std::uint64_t>(area->max_threads) *
           area->entries_per_thread * sizeof(atlas::LogEntry);
-      if (area->max_threads == 0 || area->entries_per_thread == 0 ||
+      const std::uint64_t counter_bytes =
+          static_cast<std::uint64_t>(area->max_threads) *
+          area->counter_slots_per_thread * sizeof(atlas::CounterSlot);
+      if (area->version > atlas::kAtlasFormatVersion) {
+        // A newer producer may have moved the geometry or added record
+        // kinds; guessing would report phantom corruption. Surface the
+        // version mismatch itself and skip the detailed scan.
+        AddProblem(&report,
+                   "undo-log: log format version " +
+                       std::to_string(area->version) +
+                       " is newer than this tool understands (max " +
+                       std::to_string(atlas::kAtlasFormatVersion) +
+                       "); re-run with a newer build");
+      } else if (area->max_threads == 0 || area->entries_per_thread == 0 ||
           area->slots_offset + slots_bytes > area_size ||
-          area->entries_offset + entries_bytes > area_size) {
+          area->entries_offset + entries_bytes > area_size ||
+          (area->counter_slots_per_thread > 0 &&
+           area->counter_slots_offset + counter_bytes > area_size)) {
         AddProblem(&report, "undo-log: Atlas area geometry exceeds the "
                             "runtime area");
       } else {
@@ -257,6 +272,33 @@ CheckReport CheckHeap(const PersistentHeap& heap,
                 ring[i % area->entries_per_thread];
             ++report.log_entries_scanned;
             switch (entry.kind) {
+              case atlas::EntryKind::kStoreRange: {
+                if (entry.seq <= last_store_seq) {
+                  AddProblem(&report,
+                             "undo-log: ring " + std::to_string(t) +
+                                 " stamp not monotone at entry " +
+                                 std::to_string(i));
+                }
+                last_store_seq = entry.seq;
+                const std::uint64_t len = entry.payload;
+                if (len == 0 || len % 8 != 0 ||
+                    entry.addr_offset % 8 != 0 ||
+                    entry.aux != atlas::RangeContinuationCount(len) ||
+                    i + entry.aux >= tail ||
+                    entry.addr_offset < arena_start ||
+                    entry.addr_offset + len > arena_end) {
+                  AddProblem(&report,
+                             "undo-log: ring " + std::to_string(t) +
+                                 " malformed range record at entry " +
+                                 std::to_string(i));
+                  break;
+                }
+                // The following `aux` entries are raw old bytes, not
+                // LogEntries; skip them.
+                report.log_entries_scanned += entry.aux;
+                i += entry.aux;
+                break;
+              }
               case atlas::EntryKind::kStore:
                 // Leased stamp blocks are per-thread and monotone, so
                 // stamps strictly increase along one ring.
@@ -310,13 +352,57 @@ CheckReport CheckHeap(const PersistentHeap& heap,
               case atlas::EntryKind::kOcsCommit:
                 break;
               default:
-                AddProblem(&report,
-                           "undo-log: ring " + std::to_string(t) +
-                               " invalid entry kind " +
-                               std::to_string(static_cast<int>(
-                                   entry.kind)) +
-                               " at entry " + std::to_string(i));
+                if (static_cast<std::uint8_t>(entry.kind) >
+                    atlas::kMaxKnownEntryKind) {
+                  AddProblem(&report,
+                             "undo-log: ring " + std::to_string(t) +
+                                 " record kind " +
+                                 std::to_string(static_cast<int>(
+                                     entry.kind)) +
+                                 " at entry " + std::to_string(i) +
+                                 " is newer than this tool understands "
+                                 "(max " +
+                                 std::to_string(static_cast<int>(
+                                     atlas::kMaxKnownEntryKind)) +
+                                 "); re-run with a newer build");
+                } else {
+                  AddProblem(&report,
+                             "undo-log: ring " + std::to_string(t) +
+                                 " invalid entry kind " +
+                                 std::to_string(static_cast<int>(
+                                     entry.kind)) +
+                                 " at entry " + std::to_string(i));
+                }
                 break;
+            }
+          }
+        }
+        // Armed FliT counter slots are undo records too; a consistent
+        // (even-version) slot must point at an aligned word inside the
+        // arena.
+        if (area->counter_slots_per_thread > 0) {
+          const auto* counter_base =
+              reinterpret_cast<const atlas::CounterSlot*>(
+                  area_base + area->counter_slots_offset);
+          for (std::uint32_t t = 0; t < area->max_threads; ++t) {
+            const atlas::CounterSlot* counters =
+                counter_base + static_cast<std::uint64_t>(t) *
+                                   area->counter_slots_per_thread;
+            for (std::uint32_t s = 0;
+                 s < area->counter_slots_per_thread; ++s) {
+              const atlas::CounterSlot& cs = counters[s];
+              if (cs.addr_offset == 0 ||
+                  cs.version.load(std::memory_order_relaxed) % 2 != 0) {
+                continue;
+              }
+              if (cs.addr_offset % 8 != 0 ||
+                  cs.addr_offset < arena_start ||
+                  cs.addr_offset + 8 > arena_end) {
+                AddProblem(&report,
+                           "undo-log: counter slot " + std::to_string(s) +
+                               " of thread " + std::to_string(t) +
+                               " targets outside the arena");
+              }
             }
           }
         }

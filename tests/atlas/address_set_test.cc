@@ -9,33 +9,72 @@
 namespace tsp::atlas {
 namespace {
 
-TEST(AddressSetTest, FirstInsertIsNew) {
+TEST(AddressSetTest, FirstCoverIsNew) {
   AddressSet set;
-  EXPECT_TRUE(set.InsertIfAbsent(0x1000));
-  EXPECT_FALSE(set.InsertIfAbsent(0x1000));
-  EXPECT_TRUE(set.InsertIfAbsent(0x1008));
-  EXPECT_EQ(set.size(), 2u);
+  EXPECT_TRUE(set.CoverWord(0x1000).newly_covered);
+  EXPECT_FALSE(set.CoverWord(0x1000).newly_covered);
+  EXPECT_TRUE(set.CoverWord(0x1008).newly_covered);
+  // Both words share the line at 0x1000: one slot.
+  EXPECT_EQ(set.size(), 1u);
+}
+
+TEST(AddressSetTest, AdjacentWordsShareALineSlot) {
+  AddressSet set;
+  const AddressSet::Probe first = set.CoverWord(0x2000);
+  EXPECT_TRUE(first.newly_covered);
+  EXPECT_FALSE(first.line_hit);
+  // A different word of the same cache line: must still be logged, but
+  // the probe lands on the existing line slot.
+  const AddressSet::Probe second = set.CoverWord(0x2008);
+  EXPECT_TRUE(second.newly_covered);
+  EXPECT_TRUE(second.line_hit);
+  // The same word again: full dedup.
+  const AddressSet::Probe third = set.CoverWord(0x2008);
+  EXPECT_FALSE(third.newly_covered);
+  EXPECT_TRUE(third.line_hit);
+  EXPECT_EQ(set.size(), 1u);
 }
 
 TEST(AddressSetTest, NewEpochClears) {
   AddressSet set;
-  EXPECT_TRUE(set.InsertIfAbsent(0x2000));
+  EXPECT_TRUE(set.CoverWord(0x2000).newly_covered);
   set.NewEpoch();
   EXPECT_EQ(set.size(), 0u);
-  EXPECT_TRUE(set.InsertIfAbsent(0x2000));
+  EXPECT_TRUE(set.CoverWord(0x2000).newly_covered);
+}
+
+TEST(AddressSetTest, CoverRangeReportsFullCoverageOnly) {
+  AddressSet set;
+  EXPECT_FALSE(set.CoverRange(0x3000, 64));   // fresh line
+  EXPECT_TRUE(set.CoverRange(0x3000, 64));    // fully covered now
+  EXPECT_FALSE(set.CoverRange(0x3000, 128));  // second line uncovered
+  EXPECT_TRUE(set.CoverRange(0x3000, 128));
+  // A range is equivalent to covering each word.
+  EXPECT_FALSE(set.CoverWord(0x3000 + 120).newly_covered);
+}
+
+TEST(AddressSetTest, CoverRangeSpanningLinesMidLineStart) {
+  AddressSet set;
+  // 3 words starting at the last word of a line: straddles two lines.
+  EXPECT_FALSE(set.CoverRange(0x4038, 24));
+  EXPECT_FALSE(set.CoverWord(0x4038).newly_covered);
+  EXPECT_FALSE(set.CoverWord(0x4040).newly_covered);
+  EXPECT_FALSE(set.CoverWord(0x4048).newly_covered);
+  EXPECT_TRUE(set.CoverWord(0x4030).newly_covered);
+  EXPECT_TRUE(set.CoverWord(0x4050).newly_covered);
 }
 
 TEST(AddressSetTest, GrowsBeyondInitialCapacity) {
   AddressSet set;
   const std::size_t initial = set.capacity();
   for (std::uint64_t i = 0; i < 10000; ++i) {
-    EXPECT_TRUE(set.InsertIfAbsent(0x10000 + i * 8));
+    EXPECT_TRUE(set.CoverWord(0x10000 + i * 64).newly_covered);
   }
   EXPECT_EQ(set.size(), 10000u);
   EXPECT_GT(set.capacity(), initial);
   // All still present after growth.
   for (std::uint64_t i = 0; i < 10000; ++i) {
-    EXPECT_FALSE(set.InsertIfAbsent(0x10000 + i * 8));
+    EXPECT_FALSE(set.CoverWord(0x10000 + i * 64).newly_covered);
   }
 }
 
@@ -44,11 +83,55 @@ TEST(AddressSetTest, SurvivesManyEpochsWithoutGrowth) {
   for (int epoch = 0; epoch < 1000; ++epoch) {
     set.NewEpoch();
     for (std::uint64_t i = 0; i < 50; ++i) {
-      EXPECT_TRUE(set.InsertIfAbsent(0x100 + i * 8));
+      EXPECT_TRUE(set.CoverWord(0x100 + i * 64).newly_covered);
     }
   }
   // Epoch clearing is O(1): capacity stays small for small epochs.
   EXPECT_LE(set.capacity(), 512u);
+  EXPECT_EQ(set.shrinks(), 0u);
+}
+
+TEST(AddressSetTest, ShrinksAfterQuietEpochs) {
+  AddressSet set;
+  // One oversized OCS inflates the table...
+  for (std::uint64_t i = 0; i < 10000; ++i) {
+    set.CoverWord(0x10000 + i * 64);
+  }
+  const std::size_t inflated = set.capacity();
+  ASSERT_GT(inflated, AddressSet::kInitialCapacity);
+  // ...then a run of quiet epochs retires it back to the initial size.
+  for (std::uint64_t epoch = 0;
+       epoch <= AddressSet::kShrinkAfterQuietEpochs; ++epoch) {
+    set.NewEpoch();
+    for (std::uint64_t i = 0; i < 4; ++i) {
+      set.CoverWord(0x100 + i * 64);
+    }
+  }
+  EXPECT_EQ(set.capacity(), AddressSet::kInitialCapacity);
+  EXPECT_EQ(set.shrinks(), 1u);
+  // Still correct after the shrink.
+  EXPECT_FALSE(set.CoverWord(0x100).newly_covered);
+  EXPECT_TRUE(set.CoverWord(0x9000).newly_covered);
+}
+
+TEST(AddressSetTest, BusyEpochsResetTheQuietRun) {
+  AddressSet set;
+  for (std::uint64_t i = 0; i < 10000; ++i) {
+    set.CoverWord(0x10000 + i * 64);
+  }
+  const std::size_t inflated = set.capacity();
+  // Alternate quiet and busy epochs: the quiet run never reaches the
+  // threshold, so the table stays inflated (no thrashing).
+  for (std::uint64_t round = 0;
+       round < 2 * AddressSet::kShrinkAfterQuietEpochs; ++round) {
+    set.NewEpoch();
+    const std::uint64_t count = round % 2 == 0 ? 4 : 10000;
+    for (std::uint64_t i = 0; i < count; ++i) {
+      set.CoverWord(0x10000 + i * 64);
+    }
+  }
+  EXPECT_EQ(set.capacity(), inflated);
+  EXPECT_EQ(set.shrinks(), 0u);
 }
 
 TEST(AddressSetTest, RandomizedAgainstReference) {
@@ -56,13 +139,17 @@ TEST(AddressSetTest, RandomizedAgainstReference) {
   AddressSet set;
   for (int epoch = 0; epoch < 20; ++epoch) {
     set.NewEpoch();
-    std::set<std::uint64_t> reference;
+    std::set<std::uint64_t> words;
+    std::set<std::uint64_t> lines;
     for (int i = 0; i < 2000; ++i) {
-      const std::uint64_t key = rng.Uniform(1024) * 8;
-      const bool expected_new = reference.insert(key).second;
-      EXPECT_EQ(set.InsertIfAbsent(key), expected_new);
+      const std::uint64_t word = rng.Uniform(1024) * 8;
+      const bool expected_new = words.insert(word).second;
+      const bool expected_line_hit = !lines.insert(word >> 6).second;
+      const AddressSet::Probe probe = set.CoverWord(word);
+      EXPECT_EQ(probe.newly_covered, expected_new);
+      EXPECT_EQ(probe.line_hit, expected_line_hit);
     }
-    EXPECT_EQ(set.size(), reference.size());
+    EXPECT_EQ(set.size(), lines.size());
   }
 }
 

@@ -32,6 +32,49 @@ TEST(AtlasAreaTest, FormatAndValidate) {
             buffer.size());
 }
 
+TEST(AtlasAreaTest, FormatWritesCurrentVersionWithCounterSlots) {
+  std::vector<char> buffer(1 << 20);
+  ASSERT_GT(AtlasArea::Format(buffer.data(), buffer.size(), 8), 0u);
+  AtlasArea area(buffer.data(), buffer.size());
+  EXPECT_EQ(area.header()->version, kAtlasFormatVersion);
+  EXPECT_EQ(AtlasArea::VersionOf(buffer.data(), buffer.size()),
+            kAtlasFormatVersion);
+  // A 1 MB area has room for the v2 counter-slot carve-out.
+  EXPECT_EQ(area.counter_slots_per_thread(), kDefaultCounterSlotsPerThread);
+  EXPECT_NE(area.header()->counter_slots_offset, 0u);
+}
+
+TEST(AtlasAreaTest, Version1AreaDecodesWithoutCounterSlots) {
+  // A v1 producer never wrote the counter-slot fields (Format has
+  // always zeroed the header prefix), so a v1 area must validate and
+  // decode with the FliT fast path absent, not fail.
+  std::vector<char> buffer(1 << 20);
+  ASSERT_GT(AtlasArea::Format(buffer.data(), buffer.size(), 8), 0u);
+  AtlasArea area(buffer.data(), buffer.size());
+  area.header()->version = 1;
+  area.header()->counter_slots_offset = 0;
+  area.header()->counter_slots_per_thread = 0;
+  EXPECT_TRUE(AtlasArea::Validate(buffer.data(), buffer.size()));
+  EXPECT_EQ(area.counter_slots_per_thread(), 0u);
+}
+
+TEST(AtlasAreaTest, NewerVersionIsRejectedButIdentified) {
+  // Areas written by a newer producer may have moved the layout, so
+  // validation must refuse them — but VersionOf still reports the
+  // version so diagnostics can say "newer format" instead of
+  // "corruption".
+  std::vector<char> buffer(1 << 20);
+  ASSERT_GT(AtlasArea::Format(buffer.data(), buffer.size(), 8), 0u);
+  AtlasArea area(buffer.data(), buffer.size());
+  area.header()->version = kAtlasFormatVersion + 1;
+  EXPECT_FALSE(AtlasArea::Validate(buffer.data(), buffer.size()));
+  EXPECT_EQ(AtlasArea::VersionOf(buffer.data(), buffer.size()),
+            kAtlasFormatVersion + 1);
+  // Garbage, by contrast, reports version 0 (not an Atlas area).
+  std::vector<char> garbage(1 << 20, 0x5A);
+  EXPECT_EQ(AtlasArea::VersionOf(garbage.data(), garbage.size()), 0u);
+}
+
 TEST(AtlasAreaTest, TooSmallAreaFails) {
   std::vector<char> buffer(256);
   EXPECT_EQ(AtlasArea::Format(buffer.data(), buffer.size(), 64), 0u);

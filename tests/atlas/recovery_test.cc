@@ -3,11 +3,14 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstring>
 #include <memory>
 
 #include "atlas/pmutex.h"
 #include "atlas/runtime.h"
+#include "pheap/check.h"
 #include "pheap/test_util.h"
+#include "pheap/type_registry.h"
 
 namespace tsp::atlas {
 namespace {
@@ -368,7 +371,9 @@ TEST_F(AtlasRecoveryTest, RecoveryAfterRingWrapRollsBackOnlyOpenOcs) {
     TestRoot* root = session.root();
     const std::uint64_t capacity =
         session.runtime()->area().entries_per_thread();
-    const std::uint64_t rounds = capacity;  // 3 entries/OCS → wraps ~3x
+    // 1 published entry/OCS (the kAcquire; the store is slot-absorbed
+    // and the fast-path commit elides the kRelease) → wraps ~3x.
+    const std::uint64_t rounds = 3 * capacity;
     for (std::uint64_t i = 1; i <= rounds; ++i) {
       PMutexLock lock(&mutex);
       thread->Store(&root->values[5], i);
@@ -389,6 +394,138 @@ TEST_F(AtlasRecoveryTest, RecoveryAfterRingWrapRollsBackOnlyOpenOcs) {
   // Rolled back to the last committed round.
   EXPECT_NE(session.root()->values[5], 0xBADu);
   EXPECT_GT(session.root()->values[5], 0u);
+}
+
+TEST_F(AtlasRecoveryTest, RangeRecordRecoversOldBytes) {
+  // A >16-byte guarded store is captured as one variable-length
+  // kStoreRange record (header + raw-byte continuation entries); replay
+  // must restore every byte of the span.
+  std::uint64_t before[5];
+  std::uint64_t after[5];
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    before[i] = 0xA0A0A0A000000000ULL + i;
+    after[i] = 0xBADBADBAD0000000ULL + i;
+  }
+  {
+    Session session(file_->path(), base_, /*create=*/true);
+    session.StartRuntime(PersistencePolicy::TspLogOnly());
+    AtlasThread* thread = session.runtime()->CurrentThread();
+    TestRoot* root = session.root();
+
+    // Commit a known 40-byte image of values[0..4].
+    PLockWord word;
+    thread->OnAcquire(&word, 1);
+    thread->StoreBytes(root->values, before, sizeof(before));
+    thread->OnRelease(&word, 1);
+
+    // Overwrite the same span in an OCS that never commits.
+    thread->OnAcquire(&word, 1);
+    thread->StoreBytes(root->values, after, sizeof(after));
+    ASSERT_EQ(std::memcmp(root->values, after, sizeof(after)), 0);
+    EXPECT_GE(thread->local_stats().range_records, 2u);
+    session.Crash();
+  }
+  Session session(file_->path(), base_, /*create=*/false);
+  const RecoveryStats stats = session.Recover();
+  EXPECT_EQ(stats.ocses_incomplete, 1u);
+  EXPECT_EQ(std::memcmp(session.root()->values, before, sizeof(before)), 0)
+      << "range replay must restore the whole span byte-for-byte";
+}
+
+TEST_F(AtlasRecoveryTest, RangeRecordStraddlingRingWrapRecovers) {
+  // Position the ring tail so the open OCS's range record lands with
+  // its header at the last physical index and its raw-byte continuation
+  // entries wrapped to the front: the recovery scanner must follow the
+  // header's continuation count across the wrap.
+  std::uint64_t before[5];
+  std::uint64_t after[5];
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    before[i] = 0x5EED000000000000ULL + i;
+    after[i] = 0xDEAD000000000000ULL + i;
+  }
+  {
+    Session session(file_->path(), base_, /*create=*/true);
+    session.StartRuntime(PersistencePolicy::TspLogOnly());
+    PMutex mutex(session.runtime());
+    AtlasThread* thread = session.runtime()->CurrentThread();
+    TestRoot* root = session.root();
+    const std::uint64_t capacity =
+        session.runtime()->area().entries_per_thread();
+
+    // Commit the seed image of values[0..4].
+    PLockWord word;
+    thread->OnAcquire(&word, 1);
+    thread->StoreBytes(root->values, before, sizeof(before));
+    thread->OnRelease(&word, 1);
+
+    // Single-store committed OCSes publish exactly 1 entry each (the
+    // kAcquire; the store is slot-absorbed, the kRelease elided): walk
+    // the tail to capacity - 2.
+    const ThreadLogHeader* slot =
+        session.runtime()->area().slot(thread->thread_id());
+    ASSERT_LT(slot->tail.load(), capacity - 2);
+    for (std::uint64_t i = 1; slot->tail.load() < capacity - 2; ++i) {
+      PMutexLock lock(&mutex);
+      thread->Store(&root->values[7], i);
+    }
+    ASSERT_EQ(slot->tail.load(), capacity - 2);
+
+    // Open OCS: kAcquire at capacity-2, range header at capacity-1,
+    // both 32-byte continuations wrapped to physical indices 0 and 1.
+    thread->OnAcquire(&word, 3);
+    thread->StoreBytes(root->values, after, sizeof(after));
+    ASSERT_EQ(slot->tail.load(), capacity + 2) << "record must straddle";
+    session.Crash();
+  }
+  Session session(file_->path(), base_, /*create=*/false);
+  const RecoveryStats stats = session.Recover();
+  EXPECT_EQ(stats.ocses_incomplete, 1u);
+  EXPECT_EQ(std::memcmp(session.root()->values, before, sizeof(before)), 0)
+      << "wrapped continuation bytes must replay correctly";
+  EXPECT_GT(session.root()->values[7], 0u) << "committed fillers survive";
+}
+
+TEST_F(AtlasRecoveryTest, FreshObjectsInInterruptedOcsAreReclaimed) {
+  // Stores into objects allocated inside the current OCS are elided
+  // from the undo log: rollback makes them unreachable, and the
+  // recovery GC reclaims them. After the full pipeline the heap must be
+  // byte-accounted — no leaked spans, no undo work for the fresh data.
+  {
+    Session session(file_->path(), base_, /*create=*/true);
+    session.StartRuntime(PersistencePolicy::TspLogOnly());
+    AtlasThread* thread = session.runtime()->CurrentThread();
+
+    PLockWord word;
+    thread->OnAcquire(&word, 1);
+    for (std::uint64_t i = 0; i < 4; ++i) {
+      void* obj = session.heap()->Alloc(64);
+      ASSERT_NE(obj, nullptr);
+      thread->NoteAlloc(obj, 0);
+      std::uint64_t fill[8] = {i, i, i, i, i, i, i, i};
+      thread->StoreBytes(obj, fill, sizeof(fill));
+    }
+    EXPECT_EQ(thread->local_stats().elided_fresh, 4u);
+    EXPECT_EQ(thread->local_stats().undo_records, 0u);
+    session.Crash();  // OCS never committed; objects never published
+  }
+  Session session(file_->path(), base_, /*create=*/false);
+  ASSERT_TRUE(session.heap()->needs_recovery());
+  pheap::TypeRegistry registry;  // TestRoot embeds no pointers
+  auto result = RecoverHeap(session.heap(), registry);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  // The interrupted OCS captured nothing (every store was fresh-elided)
+  // so its bracket was never published: recovery sees no incomplete OCS
+  // and undoes nothing.
+  EXPECT_EQ(result->atlas.ocses_incomplete, 0u);
+  EXPECT_EQ(result->atlas.stores_undone, 0u);
+  // The GC reclaims the four unreachable 64-byte objects; only the
+  // root remains live, and every arena byte is accounted for.
+  EXPECT_EQ(result->gc.live_objects, 1u);
+  const pheap::CheckReport report =
+      pheap::CheckHeap(*session.heap(), registry);
+  EXPECT_TRUE(report.ok) << report.ToString();
+  EXPECT_EQ(report.unaccounted_bytes, 0u) << "no leaked spans";
+  EXPECT_EQ(report.reachable_objects, 1u);
 }
 
 TEST_F(AtlasRecoveryTest, LogFlushModeRecoversIdentically) {

@@ -47,6 +47,19 @@ std::size_t CountKind(const std::vector<EntryKind>& kinds, EntryKind kind) {
   return n;
 }
 
+// Finds the armed counter slot covering `offset`, or nullptr. Single
+// stores into an OCS land here (FliT path) instead of in the ring.
+const CounterSlot* FindArmedSlot(const AtlasRuntime& runtime,
+                                 std::uint16_t thread_id,
+                                 std::uint64_t offset) {
+  const AtlasArea& area = runtime.area();
+  const CounterSlot* slots = area.counter_slots(thread_id);
+  for (std::uint32_t i = 0; i < area.counter_slots_per_thread(); ++i) {
+    if (slots[i].addr_offset == offset) return &slots[i];
+  }
+  return nullptr;
+}
+
 class AtlasRuntimeTest : public ::testing::Test {
  protected:
   void SetUp() override { Recreate(PersistencePolicy::TspLogOnly()); }
@@ -92,12 +105,19 @@ TEST_F(AtlasRuntimeTest, OcsLogsAcquireStoreRelease) {
   EXPECT_FALSE(thread->in_ocs());
   EXPECT_EQ(*value, 2u);
 
+  // The single store is absorbed by a FliT counter slot, so the ring
+  // carries only the published kAcquire (arming the slot publishes the
+  // staged bracket so recovery can attribute the capture); the fast-path
+  // commit elides the kRelease — the inline trim would erase it anyway.
   const std::vector<EntryKind> kinds =
       RingKinds(*runtime_, thread->thread_id());
-  ASSERT_EQ(kinds.size(), 3u);
+  ASSERT_EQ(kinds.size(), 1u);
   EXPECT_EQ(kinds[0], EntryKind::kAcquire);
-  EXPECT_EQ(kinds[1], EntryKind::kStore);
-  EXPECT_EQ(kinds[2], EntryKind::kRelease);
+  const CounterSlot* slot = FindArmedSlot(
+      *runtime_, thread->thread_id(), heap_->region()->ToOffset(value));
+  ASSERT_NE(slot, nullptr);
+  EXPECT_EQ(slot->old_value, 1u);
+  EXPECT_EQ(slot->version.load() % 2, 0u) << "slot publish completed";
   runtime_->UnregisterCurrentThread();
 }
 
@@ -109,19 +129,23 @@ TEST_F(AtlasRuntimeTest, FirstStorePerLocationPerOcs) {
     PMutexLock lock(&mutex);
     for (std::uint64_t i = 0; i < 100; ++i) thread->Store(value, i);
   }
+  // Only the first store to a location per OCS captures an old value;
+  // with the FliT path on, that capture arms a counter slot and the 99
+  // repeats hit the slot without touching the ring or the AddressSet.
   EXPECT_EQ(CountKind(RingKinds(*runtime_, thread->thread_id()),
                       EntryKind::kStore),
-            1u)
-      << "only the first store to a location per OCS is logged";
+            0u);
+  EXPECT_EQ(thread->local_stats().flit_rearms, 1u);
+  EXPECT_EQ(thread->local_stats().flit_repeat_hits, 99u);
+  EXPECT_EQ(thread->local_stats().dedup_hits, 99u);
 
-  // A new OCS logs the location again.
+  // A new OCS captures the location again: the prior occupant is
+  // stable (fast-path commit), so the slot is simply re-armed.
   {
     PMutexLock lock(&mutex);
     thread->Store(value, std::uint64_t{7});
   }
-  EXPECT_EQ(CountKind(RingKinds(*runtime_, thread->thread_id()),
-                      EntryKind::kStore),
-            2u);
+  EXPECT_EQ(thread->local_stats().flit_rearms, 2u);
   runtime_->UnregisterCurrentThread();
 }
 
@@ -134,18 +158,15 @@ TEST_F(AtlasRuntimeTest, UndoEntryCarriesOldValue) {
     PMutexLock lock(&mutex);
     thread->Store(value, std::uint64_t{0xBEEF});
   }
-  const AtlasArea& area = runtime_->area();
-  const ThreadLogHeader* slot = area.slot(thread->thread_id());
-  bool found = false;
-  for (std::uint64_t i = 0; i < slot->tail.load(); ++i) {
-    const LogEntry* entry = area.entry(thread->thread_id(), i);
-    if (entry->kind != EntryKind::kStore) continue;
-    EXPECT_EQ(entry->payload, 0xDEADu);
-    EXPECT_EQ(entry->size, 8);
-    EXPECT_EQ(entry->addr_offset, heap_->region()->ToOffset(value));
-    found = true;
-  }
-  EXPECT_TRUE(found);
+  // The undo data for a slot-absorbed store lives in the counter slot:
+  // old value, stamp, and owning OCS, all persisted before the guarded
+  // store overwrites the location.
+  const CounterSlot* slot = FindArmedSlot(
+      *runtime_, thread->thread_id(), heap_->region()->ToOffset(value));
+  ASSERT_NE(slot, nullptr);
+  EXPECT_EQ(slot->old_value, 0xDEADu);
+  EXPECT_GT(slot->seq, 0u);
+  EXPECT_GT(slot->ocs_id, 0u);
   runtime_->UnregisterCurrentThread();
 }
 
@@ -174,11 +195,12 @@ TEST_F(AtlasRuntimeTest, SyncFlushModeFlushesEveryEntry) {
     PMutexLock lock(&mutex);
     thread->Store(value, std::uint64_t{1});
   }
-  // 3 entries (acquire/store/release), one line flush each; only the
-  // undo record is fenced (it must be durable before its guarded
-  // store), control entries ride on later fences.
-  EXPECT_EQ(GlobalFlushStats().lines_flushed.load(), 3u);
-  EXPECT_EQ(GlobalFlushStats().fences.load(), 1u);
+  // The store arms a counter slot (one line + one fence: the slot is
+  // the undo record and must be durable before the guarded store), and
+  // arming publishes the staged kAcquire bracket (one line + one
+  // ordering fence). The fast-path commit elides the kRelease entirely.
+  EXPECT_EQ(GlobalFlushStats().lines_flushed.load(), 2u);
+  EXPECT_EQ(GlobalFlushStats().fences.load(), 2u);
   runtime_->UnregisterCurrentThread();
 }
 
@@ -194,10 +216,23 @@ TEST_F(AtlasRuntimeTest, StoreBytesSplitsLargeRanges) {
     thread->StoreBytes(blob, data, 20);
   }
   for (int i = 0; i < 20; ++i) EXPECT_EQ(blob[i], static_cast<char>(i + 1));
-  // 20 bytes = 8+8+4 → 3 undo entries.
-  EXPECT_EQ(CountKind(RingKinds(*runtime_, thread->thread_id()),
-                      EntryKind::kStore),
-            3u);
+  // 20 bytes widen to a 24-byte word span → one range record: a header
+  // entry plus ceil(24/32) = 1 continuation entry of raw old bytes.
+  const std::vector<EntryKind> kinds =
+      RingKinds(*runtime_, thread->thread_id());
+  EXPECT_EQ(CountKind(kinds, EntryKind::kStore), 0u);
+  EXPECT_EQ(CountKind(kinds, EntryKind::kStoreRange), 1u);
+  const AtlasArea& area = runtime_->area();
+  for (std::uint64_t i = 0; i < area.slot(thread->thread_id())->tail.load();
+       ++i) {
+    const LogEntry* entry = area.entry(thread->thread_id(), i);
+    if (entry->kind != EntryKind::kStoreRange) continue;
+    EXPECT_EQ(entry->payload, 24u) << "length widened to whole words";
+    EXPECT_EQ(entry->aux, RangeContinuationCount(24));
+    EXPECT_EQ(entry->addr_offset, heap_->region()->ToOffset(blob));
+    break;
+  }
+  EXPECT_EQ(thread->local_stats().range_records, 1u);
   runtime_->UnregisterCurrentThread();
 }
 

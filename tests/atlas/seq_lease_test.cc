@@ -41,6 +41,11 @@ class SeqLeaseTest : public ::testing::Test {
     AtlasRuntime::Options runtime_options;
     runtime_options.prune_interval_us = 0;
     runtime_options.seq_block_size = seq_block_size;
+    // These tests assert on raw ring kStore entries; counter slots
+    // would absorb first stores into out-of-ring slots. The stamp
+    // invariants hold either way (slots carry the same IssueSeq
+    // stamps), but the ring is where we can scan them.
+    runtime_options.use_counter_slots = false;
     runtime_ = std::make_unique<AtlasRuntime>(
         heap_.get(), PersistencePolicy::TspLogOnly(), runtime_options);
     ASSERT_TRUE(runtime_->Initialize().ok());
@@ -246,7 +251,10 @@ TEST_F(SeqLeaseTest, StoreBytesPublishesOneBatch) {
   }
   for (int i = 0; i < 40; ++i) EXPECT_EQ(blob[i], static_cast<char>(i + 1));
   const AtlasRuntimeStats stats = runtime_->GetStats();
-  EXPECT_EQ(stats.undo_records, 5u);  // 40 bytes = 5 word entries
+  // 40 bytes = one range record (header + 2 continuation entries of 32
+  // old bytes each), not 5 word records.
+  EXPECT_EQ(stats.undo_records, 1u);
+  EXPECT_EQ(stats.range_records, 1u);
   EXPECT_EQ(stats.batched_publishes, 1u)
       << "one tail advance for the whole guarded store";
   runtime_->UnregisterCurrentThread();

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <cstring>
+
 #include "atlas/pmutex.h"
 #include "atlas/runtime.h"
 #include "pheap/test_util.h"
@@ -44,15 +46,43 @@ TEST_F(AtlasStatsTest, CountsOcsActivity) {
   }
   const AtlasRuntimeStats stats = runtime_->GetStats();
   EXPECT_EQ(stats.ocses_committed, 10u);
-  EXPECT_EQ(stats.undo_records, 10u);
+  // Each OCS's first store arms a FliT counter slot (no ring record);
+  // the second store per OCS hits the armed slot.
+  EXPECT_EQ(stats.undo_records, 0u);
+  EXPECT_EQ(stats.flit_rearms, 10u);
+  EXPECT_EQ(stats.flit_repeat_hits, 10u);
   EXPECT_EQ(stats.dedup_hits, 10u);
-  // 3 entries per OCS: acquire, one store, release.
-  EXPECT_EQ(stats.log_entries_appended, 30u);
+  // 1 ring entry per OCS: the kAcquire bracket, published when the
+  // first store arms its slot. Fast-path commits elide the kRelease.
+  EXPECT_EQ(stats.log_entries_appended, 10u);
   // Single-threaded, dependency-free: all commits take the fast path.
   EXPECT_EQ(stats.fast_path_commits, 10u);
   EXPECT_EQ(stats.published_commits, 0u);
   EXPECT_EQ(stats.deps_recorded, 0u);
   EXPECT_EQ(stats.pending_unstable, 0u);
+  runtime_->UnregisterCurrentThread();
+}
+
+TEST_F(AtlasStatsTest, CountsLineDedupHits) {
+  // A repeated multi-word store over an already-captured span is
+  // filtered by the AddressSet's cache-line entries: one range record,
+  // then line hits — no second capture.
+  auto* blob = static_cast<char*>(heap_->Alloc(64));
+  std::memset(blob, 0, 64);
+  PMutex mutex(runtime_.get());
+  AtlasThread* thread = runtime_->CurrentThread();
+  char data[40];
+  std::memset(data, 0x7E, sizeof(data));
+  {
+    PMutexLock lock(&mutex);
+    thread->StoreBytes(blob, data, sizeof(data));
+    thread->StoreBytes(blob, data, sizeof(data));  // same span, same OCS
+    thread->StoreBytes(blob + 8, data, 24);        // sub-span, same lines
+  }
+  const AtlasRuntimeStats stats = runtime_->GetStats();
+  EXPECT_EQ(stats.range_records, 1u) << "only the first store captures";
+  EXPECT_EQ(stats.line_dedup_hits, 2u);
+  EXPECT_EQ(stats.dedup_hits, 2u);
   runtime_->UnregisterCurrentThread();
 }
 

@@ -65,6 +65,8 @@ const char* EntryKindName(tsp::atlas::EntryKind kind) {
       return "ocs-commit";
     case tsp::atlas::EntryKind::kAlloc:
       return "alloc";
+    case tsp::atlas::EntryKind::kStoreRange:
+      return "store-range";
   }
   return "?";
 }
@@ -293,12 +295,23 @@ int ShowLog(const PersistentHeap& heap, bool verbose) {
       static_cast<const void*>(heap.runtime_area()));
   if (!tsp::atlas::AtlasArea::Validate(area_base,
                                        heap.runtime_area_size())) {
+    const std::uint32_t version = tsp::atlas::AtlasArea::VersionOf(
+        area_base, heap.runtime_area_size());
+    if (version > tsp::atlas::kAtlasFormatVersion) {
+      std::fprintf(stderr,
+                   "Atlas log format version %u is newer than this tool "
+                   "understands (max %u); re-run with a newer build\n",
+                   version, tsp::atlas::kAtlasFormatVersion);
+      return 1;
+    }
     std::printf("no Atlas log area (heap never used the mutex runtime)\n");
     return 0;
   }
   tsp::atlas::AtlasArea area(area_base, heap.runtime_area_size());
-  std::printf("Atlas log: %u rings x %" PRIu64 " entries\n",
-              area.max_threads(), area.entries_per_thread());
+  std::printf("Atlas log: %u rings x %" PRIu64 " entries, %u counter "
+              "slots/thread (format v%u)\n",
+              area.max_threads(), area.entries_per_thread(),
+              area.counter_slots_per_thread(), area.header()->version);
   // Stamps are leased in per-thread blocks of the global counter, so
   // they are sparse and interleave across rings; within one ring they
   // must be monotone. max_store_seq below the header's global sequence
@@ -307,14 +320,29 @@ int ShowLog(const PersistentHeap& heap, bool verbose) {
     const tsp::atlas::ThreadLogHeader* slot = area.slot(t);
     const std::uint64_t head = slot->head.load(std::memory_order_relaxed);
     const std::uint64_t tail = slot->tail.load(std::memory_order_relaxed);
-    if (tail == 0 && slot->next_ocs.load(std::memory_order_relaxed) <= 1) {
+    std::uint64_t armed_slots = 0;
+    for (std::uint32_t s = 0; s < area.counter_slots_per_thread(); ++s) {
+      if (area.counter_slots(t)[s].addr_offset != 0) ++armed_slots;
+    }
+    if (tail == 0 && armed_slots == 0 &&
+        slot->next_ocs.load(std::memory_order_relaxed) <= 1) {
       continue;  // never used
     }
     std::uint64_t max_store_seq = 0;
     std::uint64_t stores = 0;
+    std::uint64_t ranges = 0;
     bool monotone = true;  // any violation flips the exit code below
     for (std::uint64_t i = head; i < tail; ++i) {
       const tsp::atlas::LogEntry* entry = area.entry(t, i);
+      if (entry->kind == tsp::atlas::EntryKind::kStoreRange) {
+        // Header + raw-byte continuation entries; skip the latter so
+        // their bytes are never misparsed as records.
+        if (entry->seq <= max_store_seq) monotone = false;
+        max_store_seq = entry->seq;
+        ++ranges;
+        i += entry->aux;
+        continue;
+      }
       if (entry->kind != tsp::atlas::EntryKind::kStore) continue;
       if (entry->seq <= max_store_seq) monotone = false;
       max_store_seq = entry->seq;
@@ -326,20 +354,40 @@ int ShowLog(const PersistentHeap& heap, bool verbose) {
                 t, head, tail, tail - head,
                 slot->committed_ocs.load(std::memory_order_relaxed),
                 slot->stable_ocs.load(std::memory_order_relaxed));
-    if (stores > 0) {
-      std::printf(" stores=%" PRIu64 " max_store_seq=%" PRIu64 "%s",
-                  stores, max_store_seq,
+    if (stores > 0 || ranges > 0) {
+      std::printf(" stores=%" PRIu64 " ranges=%" PRIu64
+                  " max_store_seq=%" PRIu64 "%s",
+                  stores, ranges, max_store_seq,
                   monotone ? "" : " [NOT MONOTONE]");
       if (!monotone) exit_code = 1;
+    }
+    if (armed_slots > 0) {
+      std::printf(" armed_counter_slots=%" PRIu64, armed_slots);
     }
     std::printf("\n");
     if (!verbose) continue;
     for (std::uint64_t i = head; i < tail; ++i) {
       const tsp::atlas::LogEntry* entry = area.entry(t, i);
-      std::printf("    [%" PRIu64 "] %-9s seq=%" PRIu64 " aux=%u addr=%"
+      std::printf("    [%" PRIu64 "] %-11s seq=%" PRIu64 " aux=%u addr=%"
                   PRIu64 " payload=0x%" PRIx64 "\n",
                   i, EntryKindName(entry->kind), entry->seq, entry->aux,
                   entry->addr_offset, entry->payload);
+      if (entry->kind == tsp::atlas::EntryKind::kStoreRange) {
+        std::printf("        (range: %" PRIu64 " old bytes in %u "
+                    "continuation entries)\n",
+                    entry->payload, entry->aux);
+        i += entry->aux;
+      }
+    }
+    for (std::uint32_t s = 0; s < area.counter_slots_per_thread(); ++s) {
+      const tsp::atlas::CounterSlot& cs = area.counter_slots(t)[s];
+      if (cs.addr_offset == 0) continue;
+      std::printf("    counter slot %3u: addr=%" PRIu64 " ocs=%" PRIu64
+                  " seq=%" PRIu64 " old=0x%" PRIx64 "%s\n",
+                  s, cs.addr_offset, cs.ocs_id, cs.seq, cs.old_value,
+                  cs.version.load(std::memory_order_relaxed) % 2 != 0
+                      ? " [TORN]"
+                      : "");
     }
   }
   return exit_code;
@@ -361,14 +409,18 @@ std::vector<std::uint64_t> UndoLogOpenOcses(const PersistentHeap& heap) {
     const tsp::atlas::ThreadLogHeader* slot = area.slot(t);
     const std::uint64_t head = slot->head.load(std::memory_order_relaxed);
     const std::uint64_t tail = slot->tail.load(std::memory_order_relaxed);
+    // OCS boundaries come from acquire/release nesting, exactly as
+    // recovery reconstructs them (kOcsBegin/kOcsCommit are legacy).
     std::uint64_t open_ocs = 0;
+    int depth = 0;
     for (std::uint64_t i = head; i < tail; ++i) {
       const tsp::atlas::LogEntry* entry = area.entry(t, i);
-      if (entry->kind == tsp::atlas::EntryKind::kOcsBegin) {
-        open_ocs = entry->payload;
-      } else if (entry->kind == tsp::atlas::EntryKind::kOcsCommit &&
-                 entry->payload == open_ocs) {
-        open_ocs = 0;
+      if (entry->kind == tsp::atlas::EntryKind::kStoreRange) {
+        i += entry->aux;  // raw continuation bytes, not entries
+      } else if (entry->kind == tsp::atlas::EntryKind::kAcquire) {
+        if (depth++ == 0) open_ocs = entry->addr_offset;
+      } else if (entry->kind == tsp::atlas::EntryKind::kRelease) {
+        if (depth > 0 && --depth == 0) open_ocs = 0;
       }
     }
     if (open_ocs != 0) {
