@@ -147,6 +147,7 @@ void RunTransfers(App* app, std::uint64_t transfers, int threads,
         const std::uint64_t second = std::max(from, to);
         {
           tsp::atlas::PMutexLock outer(locks[first].get());
+          // tsp-lint: lock-order(min-index account before max-index account)
           tsp::atlas::PMutexLock inner(locks[second].get());
           thread->Store(&ledger->balances[from],
                         ledger->balances[from] - amount);

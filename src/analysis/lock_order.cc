@@ -1,0 +1,214 @@
+// Copyright 2026 The TSP Authors.
+
+#include "analysis/lock_order.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <set>
+
+namespace tsp::analysis {
+
+void LockOrderGraph::RecordNode(std::uint64_t addr, std::uint32_t lock_id,
+                                std::uint64_t runtime) {
+  std::lock_guard<std::mutex> guard(mutex_);
+  LockNode& node = nodes_[addr];
+  node.addr = addr;
+  node.lock_id = lock_id;
+  node.runtime = runtime;
+  ++node.acquisitions;
+}
+
+void LockOrderGraph::RecordEdge(std::uint64_t from, std::uint64_t to) {
+  std::lock_guard<std::mutex> guard(mutex_);
+  LockEdge& edge = edges_[{from, to}];
+  if (edge.count == 0) {
+    edge.from = from;
+    edge.to = to;
+    const auto from_it = nodes_.find(from);
+    const auto to_it = nodes_.find(to);
+    // Cross-shard only when both endpoints belong to (distinct) Atlas
+    // runtimes: a plain-mutex endpoint (runtime 0) has no shard.
+    edge.cross_shard = from_it != nodes_.end() && to_it != nodes_.end() &&
+                       from_it->second.runtime != 0 &&
+                       to_it->second.runtime != 0 &&
+                       from_it->second.runtime != to_it->second.runtime;
+  }
+  ++edge.count;
+}
+
+void LockOrderGraph::SetCounter(const std::string& name, std::uint64_t value) {
+  std::lock_guard<std::mutex> guard(mutex_);
+  counters_[name] = value;
+}
+
+std::vector<LockNode> LockOrderGraph::Nodes() const {
+  std::lock_guard<std::mutex> guard(mutex_);
+  std::vector<LockNode> out;
+  out.reserve(nodes_.size());
+  for (const auto& [addr, node] : nodes_) out.push_back(node);
+  return out;
+}
+
+std::vector<LockEdge> LockOrderGraph::Edges() const {
+  std::lock_guard<std::mutex> guard(mutex_);
+  std::vector<LockEdge> out;
+  out.reserve(edges_.size());
+  for (const auto& [key, edge] : edges_) out.push_back(edge);
+  return out;
+}
+
+std::map<std::string, std::uint64_t> LockOrderGraph::Counters() const {
+  std::lock_guard<std::mutex> guard(mutex_);
+  return counters_;
+}
+
+std::uint64_t LockOrderGraph::edge_count() const {
+  std::lock_guard<std::mutex> guard(mutex_);
+  return edges_.size();
+}
+
+namespace {
+
+// DFS from `start`, only visiting nodes >= start; any path back to
+// start is an elementary cycle whose minimum node is start, so each
+// cycle is found exactly once (canonical-start dedup).
+void CycleDfs(const std::map<std::uint64_t, std::vector<std::uint64_t>>& adj,
+              std::uint64_t start, std::uint64_t node,
+              std::vector<std::uint64_t>* path, std::set<std::uint64_t>* on_path,
+              std::vector<std::vector<std::uint64_t>>* cycles) {
+  const auto it = adj.find(node);
+  if (it == adj.end()) return;
+  for (std::uint64_t next : it->second) {
+    if (next == start) {
+      cycles->push_back(*path);
+      continue;
+    }
+    if (next < start || on_path->count(next) != 0) continue;
+    path->push_back(next);
+    on_path->insert(next);
+    CycleDfs(adj, start, next, path, on_path, cycles);
+    on_path->erase(next);
+    path->pop_back();
+  }
+}
+
+}  // namespace
+
+std::vector<LockCycle> LockOrderGraph::FindCycles() const {
+  std::map<std::uint64_t, std::vector<std::uint64_t>> adj;
+  std::set<std::pair<std::uint64_t, std::uint64_t>> cross;
+  {
+    std::lock_guard<std::mutex> guard(mutex_);
+    for (const auto& [key, edge] : edges_) {
+      adj[edge.from].push_back(edge.to);
+      if (edge.cross_shard) cross.insert({edge.from, edge.to});
+    }
+  }
+  std::vector<std::vector<std::uint64_t>> raw;
+  for (const auto& [start, targets] : adj) {
+    std::vector<std::uint64_t> path{start};
+    std::set<std::uint64_t> on_path{start};
+    CycleDfs(adj, start, start, &path, &on_path, &raw);
+  }
+  std::vector<LockCycle> out;
+  out.reserve(raw.size());
+  for (auto& nodes : raw) {
+    LockCycle cycle;
+    cycle.cross_shard = false;
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      const std::uint64_t from = nodes[i];
+      const std::uint64_t to = nodes[(i + 1) % nodes.size()];
+      if (cross.count({from, to}) != 0) cycle.cross_shard = true;
+    }
+    cycle.nodes = std::move(nodes);
+    out.push_back(std::move(cycle));
+  }
+  return out;
+}
+
+bool LockOrderGraph::SaveTo(const std::string& path,
+                            std::string* error) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    if (error != nullptr) *error = "cannot open " + path + " for writing";
+    return false;
+  }
+  std::lock_guard<std::mutex> guard(mutex_);
+  // Sidecar serialisation, not diagnostics: fprintf here writes the
+  // lockgraph file itself.
+  std::fprintf(f, "tsp-lockgraph v1\n");  // tsp-lint: allow(raw-logging)
+  for (const auto& [name, value] : counters_) {
+    std::fprintf(f, "counter %s %" PRIu64 "\n",  // tsp-lint: allow(raw-logging)
+                 name.c_str(), value);
+  }
+  for (const auto& [addr, node] : nodes_) {
+    std::fprintf(f, "node 0x%" PRIx64  // tsp-lint: allow(raw-logging)
+                    " id=%u runtime=%" PRIu64 " acq=%" PRIu64 "\n",
+                 node.addr, node.lock_id, node.runtime, node.acquisitions);
+  }
+  for (const auto& [key, edge] : edges_) {
+    std::fprintf(f, "edge 0x%" PRIx64  // tsp-lint: allow(raw-logging)
+                    " 0x%" PRIx64 " count=%" PRIu64 " cross=%d\n",
+                 edge.from, edge.to, edge.count, edge.cross_shard ? 1 : 0);
+  }
+  const bool ok = std::fclose(f) == 0;
+  if (!ok && error != nullptr) *error = "write to " + path + " failed";
+  return ok;
+}
+
+bool LockOrderGraph::LoadFrom(const std::string& path, std::string* error) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) {
+    if (error != nullptr) *error = "cannot open " + path;
+    return false;
+  }
+  char line[512];
+  if (std::fgets(line, sizeof(line), f) == nullptr ||
+      std::strncmp(line, "tsp-lockgraph v1", 16) != 0) {
+    if (error != nullptr) *error = path + ": not a tsp-lockgraph v1 file";
+    std::fclose(f);
+    return false;
+  }
+  Clear();
+  std::lock_guard<std::mutex> guard(mutex_);
+  int lineno = 1;
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    ++lineno;
+    char name[256];
+    std::uint64_t a = 0, b = 0, c = 0, d = 0;
+    unsigned id = 0;
+    int cross = 0;
+    if (std::sscanf(line, "counter %255s %" SCNu64, name, &a) == 2) {
+      counters_[name] = a;
+    } else if (std::sscanf(line,
+                           "node 0x%" SCNx64 " id=%u runtime=%" SCNu64
+                           " acq=%" SCNu64,
+                           &a, &id, &b, &c) == 4) {
+      nodes_[a] = LockNode{a, id, b, c};
+    } else if (std::sscanf(line,
+                           "edge 0x%" SCNx64 " 0x%" SCNx64 " count=%" SCNu64
+                           " cross=%d",
+                           &a, &b, &d, &cross) == 4) {
+      edges_[{a, b}] = LockEdge{a, b, d, cross != 0};
+    } else if (line[0] != '\n' && line[0] != '\0') {
+      if (error != nullptr) {
+        *error = path + ":" + std::to_string(lineno) + ": unparseable line";
+      }
+      std::fclose(f);
+      return false;
+    }
+  }
+  std::fclose(f);
+  return true;
+}
+
+void LockOrderGraph::Clear() {
+  std::lock_guard<std::mutex> guard(mutex_);
+  nodes_.clear();
+  edges_.clear();
+  counters_.clear();
+}
+
+}  // namespace tsp::analysis

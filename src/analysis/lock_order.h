@@ -1,0 +1,98 @@
+// Copyright 2026 The TSP Authors.
+// Lock-order graph: "A was held while B was acquired" edges observed at
+// runtime, persisted to a text sidecar and checked for cycles.
+//
+// A cycle among PMutexes is (a) a classic deadlock risk and (b), when
+// the nodes span two AtlasRuntime instances, a cross-shard OCS
+// dependency cycle — evidence against the "shard recoveries commute"
+// claim that justifies recovering ShardedMap shards in parallel, so
+// cycle reports call the cross-shard case out explicitly.
+//
+// Unlike the detector in race_detector.h, this class is always compiled
+// (even under -DTSP_ANALYSIS=OFF): `tsp_inspect locks` must be able to
+// load and analyse a sidecar written by an analysis-enabled build.
+
+#ifndef TSP_ANALYSIS_LOCK_ORDER_H_
+#define TSP_ANALYSIS_LOCK_ORDER_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace tsp::analysis {
+
+/// One PMutex observed at least once in an acquisition.
+struct LockNode {
+  std::uint64_t addr = 0;          // PMutex* in the recording process
+  std::uint32_t lock_id = 0;       // per-runtime id (display only)
+  std::uint64_t runtime = 0;       // AtlasRuntime instance id; 0 = none
+  std::uint64_t acquisitions = 0;  // times this lock was taken
+};
+
+/// Directed edge: `from` was held by the acquiring thread when `to` was
+/// acquired.
+struct LockEdge {
+  std::uint64_t from = 0;
+  std::uint64_t to = 0;
+  std::uint64_t count = 0;   // times this ordering was observed
+  bool cross_shard = false;  // endpoints live in different runtimes
+};
+
+/// A cycle through the edge set, reported as the node sequence
+/// n0 → n1 → ... → n0 (first node repeated at the end is implied, not
+/// stored). `cross_shard` when any edge on the cycle crosses runtimes.
+struct LockCycle {
+  std::vector<std::uint64_t> nodes;
+  bool cross_shard = false;
+};
+
+/// Thread-safe accumulator + offline analysis for lock-order edges.
+class LockOrderGraph {
+ public:
+  /// Notes an acquisition of `addr` (creating its node on first sight).
+  void RecordNode(std::uint64_t addr, std::uint32_t lock_id,
+                  std::uint64_t runtime);
+
+  /// Notes that `from` was held while `to` was acquired. Both nodes
+  /// must have been recorded (unknown endpoints are created bare).
+  void RecordEdge(std::uint64_t from, std::uint64_t to);
+
+  /// Extra name=value counters carried in the sidecar (the recorder
+  /// stashes detector stats here so `tsp_inspect locks` can show them).
+  void SetCounter(const std::string& name, std::uint64_t value);
+
+  std::vector<LockNode> Nodes() const;
+  std::vector<LockEdge> Edges() const;
+  std::map<std::string, std::uint64_t> Counters() const;
+  std::uint64_t edge_count() const;
+
+  /// All elementary cycles reachable in the edge set (DFS with a
+  /// canonical-start dedup; the graphs here are tiny — dozens of locks,
+  /// not thousands).
+  std::vector<LockCycle> FindCycles() const;
+
+  /// Serialises to / parses from the "tsp-lockgraph v1" text format:
+  ///   tsp-lockgraph v1
+  ///   counter <name> <value>
+  ///   node <0xaddr> id=<n> runtime=<n> acq=<n>
+  ///   edge <0xfrom> <0xto> count=<n> cross=<0|1>
+  /// Returns false (and leaves *error describing why) on parse/io
+  /// failure.
+  bool SaveTo(const std::string& path, std::string* error = nullptr) const;
+  bool LoadFrom(const std::string& path, std::string* error = nullptr);
+
+  void Clear();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::uint64_t, LockNode> nodes_;
+  std::map<std::pair<std::uint64_t, std::uint64_t>, LockEdge> edges_;
+  std::map<std::string, std::uint64_t> counters_;
+};
+
+}  // namespace tsp::analysis
+
+#endif  // TSP_ANALYSIS_LOCK_ORDER_H_

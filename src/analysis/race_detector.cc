@@ -1,0 +1,747 @@
+// Copyright 2026 The TSP Authors.
+
+#include "analysis/race_detector.h"
+
+#include <execinfo.h>
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <mutex>
+#include <set>
+#include <utility>
+
+#include "analysis/race_hooks.h"
+#include "obs/metrics.h"
+
+namespace tsp::analysis {
+
+namespace analysis_internal {
+std::atomic<bool> g_active{false};
+}  // namespace analysis_internal
+
+#ifndef TSP_ANALYSIS_DISABLED
+
+namespace {
+
+// Shadow cell bit layout (one std::atomic<uint64_t> per cell):
+//   bits 0-1   Eraser state
+//   bit  2     reported (one report per cell, no floods)
+//   bit  3     exempt (non-blocking domain)
+//   bits 4-19  detector thread id of the exclusive owner
+//   bits 32-63 interned candidate-lockset id C(v)
+constexpr std::uint64_t kStateVirgin = 0;
+constexpr std::uint64_t kStateExclusive = 1;
+constexpr std::uint64_t kStateShared = 2;
+constexpr std::uint64_t kStateSharedMod = 3;
+constexpr std::uint64_t kStateMask = 0x3;
+constexpr std::uint64_t kReportedBit = 1ull << 2;
+constexpr std::uint64_t kExemptBit = 1ull << 3;
+constexpr int kThreadShift = 4;
+constexpr std::uint64_t kThreadMask = 0xffff;
+constexpr int kLocksetShift = 32;
+
+std::uint64_t MakeCell(std::uint64_t state, std::uint32_t thread,
+                       std::uint32_t lockset, std::uint64_t keep_bits) {
+  return state | keep_bits |
+         (static_cast<std::uint64_t>(thread & kThreadMask) << kThreadShift) |
+         (static_cast<std::uint64_t>(lockset) << kLocksetShift);
+}
+
+struct Shadow {
+  std::uintptr_t arena_start = 0;  // first shadowed byte
+  std::uintptr_t arena_end = 0;    // one past the last shadowed byte
+  std::uintptr_t region_base = 0;  // mapping base, for offset attribution
+  std::atomic<std::uint64_t>* cells = nullptr;
+  std::size_t cell_count = 0;
+  std::size_t map_bytes = 0;
+  std::string name;
+};
+
+struct ThreadState {
+  std::uint32_t id = 0;
+  std::vector<const void*> held;  // acquisition order, innermost last
+  std::uint32_t lockset_id = 0;   // interned sorted copy of `held`
+  int epoch_depth = 0;
+  std::uint32_t read_tick = 0;
+};
+
+// Non-blocking ranges are registered during session open, *before* the
+// detector is armed, so they are recorded unconditionally here and
+// applied to shadow cells at Enable (and live while armed).
+struct PendingRange {
+  std::uintptr_t start;
+  std::uintptr_t end;
+  std::string domain;
+};
+
+struct State {
+  std::mutex mutex;
+  std::vector<Shadow> shadows;
+  RaceDetector::Options options;
+  report::FindingSink own_sink{RaceDetector::Options{}.finding_cap};
+  report::FindingSink* sink = nullptr;
+
+  // Lockset interning: id → sorted members; id 0 is the empty set.
+  std::vector<std::vector<const void*>> locksets{{}};
+  std::map<std::vector<const void*>, std::uint32_t> lockset_ids;
+  std::map<std::pair<std::uint32_t, std::uint32_t>, std::uint32_t>
+      intersect_cache;
+
+  LockOrderGraph graph;
+  std::set<std::vector<std::uint64_t>> reported_cycles;
+
+  std::mutex ranges_mutex;
+  std::vector<PendingRange> ranges;
+
+  std::atomic<std::uint32_t> next_thread_id{1};
+  std::atomic<std::uint64_t> races_checked{0};
+  std::atomic<std::uint64_t> lockset_refinements{0};
+  std::atomic<std::uint64_t> reads_sampled{0};
+  std::atomic<std::uint64_t> exempt_accesses{0};
+  std::atomic<std::uint64_t> findings{0};
+};
+
+State& GetState() {
+  static State* state = new State;  // leaked: hooks may run at exit
+  return *state;
+}
+
+ThreadState& CurrentThread() {
+  thread_local ThreadState state;
+  if (state.id == 0) {
+    state.id = GetState().next_thread_id.fetch_add(1,
+                                                   std::memory_order_relaxed);
+  }
+  return state;
+}
+
+using analysis_internal::g_active;
+
+/// Interns `members` (must be sorted, deduped). Caller holds no locks.
+std::uint32_t InternLockset(std::vector<const void*> members) {
+  if (members.empty()) return 0;
+  State& state = GetState();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  auto it = state.lockset_ids.find(members);
+  if (it != state.lockset_ids.end()) return it->second;
+  const auto id = static_cast<std::uint32_t>(state.locksets.size());
+  state.lockset_ids.emplace(members, id);
+  state.locksets.push_back(std::move(members));
+  return id;
+}
+
+/// C(v) ∩ current; cached per (a, b) pair since the distinct-lockset
+/// population is tiny (one per lock nesting pattern).
+std::uint32_t IntersectLocksets(std::uint32_t a, std::uint32_t b) {
+  if (a == b) return a;
+  if (a == 0 || b == 0) return 0;
+  State& state = GetState();
+  const auto key = a < b ? std::make_pair(a, b) : std::make_pair(b, a);
+  std::vector<const void*> sa, sb;
+  {
+    std::lock_guard<std::mutex> lock(state.mutex);
+    const auto it = state.intersect_cache.find(key);
+    if (it != state.intersect_cache.end()) return it->second;
+    sa = state.locksets[a];
+    sb = state.locksets[b];
+  }
+  std::vector<const void*> inter;
+  std::set_intersection(sa.begin(), sa.end(), sb.begin(), sb.end(),
+                        std::back_inserter(inter));
+  const std::uint32_t id = InternLockset(std::move(inter));
+  std::lock_guard<std::mutex> lock(state.mutex);
+  state.intersect_cache.emplace(key, id);
+  return id;
+}
+
+std::string DescribeLockset(std::uint32_t id) {
+  State& state = GetState();
+  std::vector<const void*> members;
+  {
+    std::lock_guard<std::mutex> lock(state.mutex);
+    if (id < state.locksets.size()) members = state.locksets[id];
+  }
+  if (members.empty()) return "{}";
+  std::string out = "{";
+  char buf[32];
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    std::snprintf(buf, sizeof(buf), "%s%p", i == 0 ? "" : ", ", members[i]);
+    out += buf;
+  }
+  return out + "}";
+}
+
+/// First few caller frames past the detector's own, "sym1 <- sym2".
+std::string CaptureBacktrace() {
+  void* frames[16];
+  const int depth = backtrace(frames, 16);
+  char** symbols = backtrace_symbols(frames, depth);
+  if (symbols == nullptr) return "<no backtrace>";
+  std::string out;
+  int emitted = 0;
+  // Skip the detector's own frames (CaptureBacktrace/Report/OnStore).
+  for (int i = 3; i < depth && emitted < 4; ++i, ++emitted) {
+    if (!out.empty()) out += " <- ";
+    out += symbols[i];
+  }
+  std::free(symbols);
+  return out.empty() ? "<no backtrace>" : out;
+}
+
+const Shadow* ShadowFor(std::uintptr_t addr) {
+  for (const Shadow& shadow : GetState().shadows) {
+    if (addr >= shadow.arena_start && addr < shadow.arena_end) return &shadow;
+  }
+  return nullptr;
+}
+
+void Report(report::Severity severity, const char* rule,
+            const Shadow& shadow, std::uintptr_t addr, std::string message) {
+  State& state = GetState();
+  char loc[96];
+  std::snprintf(loc, sizeof(loc), "0x%" PRIxPTR " (%s+0x%" PRIxPTR ")", addr,
+                shadow.name.c_str(), addr - shadow.region_base);
+  report::Finding finding;
+  finding.severity = severity;
+  finding.tool = "tsprace";
+  finding.rule = rule;
+  finding.location = loc;
+  finding.message = std::move(message);
+  state.findings.fetch_add(1, std::memory_order_relaxed);
+  int exit_code = 0;
+  {
+    std::lock_guard<std::mutex> lock(state.mutex);
+    if (state.sink != nullptr) state.sink->Add(finding);
+    if (severity == report::Severity::kError) {
+      exit_code = state.options.violation_exit_code;
+    }
+  }
+  if (exit_code != 0) {
+    std::string text = finding.ToText();
+    text += '\n';
+    (void)!write(STDERR_FILENO, text.c_str(), text.size());
+    _exit(exit_code);
+  }
+}
+
+void ReportStoreViolation(const Shadow& shadow, std::uintptr_t addr,
+                          ThreadState& thread, std::uint16_t atlas_thread,
+                          std::uint64_t ocs, std::uint32_t old_lockset) {
+  const char* rule =
+      thread.lockset_id == 0 ? "unlocked-store" : "wrong-lock-store";
+  char head[192];
+  std::snprintf(head, sizeof(head),
+                "persistent store with empty candidate lockset "
+                "[thread t%u atlas=%u ocs=%" PRIu64 "] held=",
+                thread.id, atlas_thread, ocs);
+  std::string message = head;
+  message += DescribeLockset(thread.lockset_id);
+  message += " C(v) was ";
+  message += DescribeLockset(old_lockset);
+  message += "; bt: ";
+  message += CaptureBacktrace();
+  Report(report::Severity::kError, rule, shadow, addr, std::move(message));
+}
+
+/// Applies the Eraser write transition to one cell. Returns without
+/// reporting when the cell is exempt or already reported.
+void UpdateCellWrite(const Shadow& shadow, std::size_t index,
+                     std::uintptr_t addr, ThreadState& thread,
+                     std::uint16_t atlas_thread, std::uint64_t ocs) {
+  State& state = GetState();
+  std::atomic<std::uint64_t>& cell = shadow.cells[index];
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    std::uint64_t old = cell.load(std::memory_order_relaxed);
+    if (old & kExemptBit) {
+      state.exempt_accesses.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    state.races_checked.fetch_add(1, std::memory_order_relaxed);
+    const std::uint64_t cell_state = old & kStateMask;
+    const auto owner =
+        static_cast<std::uint32_t>((old >> kThreadShift) & kThreadMask);
+    const auto stored =
+        static_cast<std::uint32_t>(old >> kLocksetShift);
+    const std::uint64_t keep = old & kReportedBit;
+    std::uint64_t next = old;
+    bool violation = false;
+    std::uint32_t candidate = stored;
+    switch (cell_state) {
+      case kStateVirgin:
+        next = MakeCell(kStateExclusive, thread.id, thread.lockset_id, keep);
+        break;
+      case kStateExclusive:
+        if (owner == (thread.id & kThreadMask)) {
+          // Still exclusive: track the owner's latest lockset but do
+          // not refine — init-phase stores must not poison C(v).
+          next = MakeCell(kStateExclusive, thread.id, thread.lockset_id,
+                          keep);
+        } else {
+          // First genuinely shared access sets C(v) to the locks held
+          // right now.
+          candidate = thread.lockset_id;
+          next = MakeCell(kStateSharedMod, thread.id, candidate, keep);
+          violation = candidate == 0;
+        }
+        break;
+      case kStateShared:
+      case kStateSharedMod:
+        candidate = IntersectLocksets(stored, thread.lockset_id);
+        state.lockset_refinements.fetch_add(1, std::memory_order_relaxed);
+        next = MakeCell(kStateSharedMod, thread.id, candidate, keep);
+        violation = candidate == 0;
+        break;
+    }
+    if (violation && !(keep & kReportedBit)) next |= kReportedBit;
+    if (cell.compare_exchange_weak(old, next, std::memory_order_relaxed)) {
+      if (violation && !(keep & kReportedBit)) {
+        ReportStoreViolation(shadow, addr, thread, atlas_thread, ocs, stored);
+      }
+      return;
+    }
+  }
+  // Contended cell: the competing updates each ran the state machine;
+  // dropping this refinement is sound (C(v) only shrinks).
+}
+
+void UpdateCellRead(const Shadow& shadow, std::size_t index,
+                    std::uintptr_t addr, ThreadState& thread) {
+  State& state = GetState();
+  std::atomic<std::uint64_t>& cell = shadow.cells[index];
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    std::uint64_t old = cell.load(std::memory_order_relaxed);
+    if (old & kExemptBit) {
+      state.exempt_accesses.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    state.races_checked.fetch_add(1, std::memory_order_relaxed);
+    const std::uint64_t cell_state = old & kStateMask;
+    const auto owner =
+        static_cast<std::uint32_t>((old >> kThreadShift) & kThreadMask);
+    const auto stored = static_cast<std::uint32_t>(old >> kLocksetShift);
+    const std::uint64_t keep = old & kReportedBit;
+    std::uint64_t next = old;
+    bool warn = false;
+    switch (cell_state) {
+      case kStateVirgin:
+        return;  // reads do not claim ownership
+      case kStateExclusive:
+        if (owner == (thread.id & kThreadMask)) return;
+        next = MakeCell(kStateShared, owner, thread.lockset_id, keep);
+        break;
+      case kStateShared:
+      case kStateSharedMod: {
+        const std::uint32_t candidate =
+            IntersectLocksets(stored, thread.lockset_id);
+        state.lockset_refinements.fetch_add(1, std::memory_order_relaxed);
+        next = MakeCell(cell_state, owner, candidate, keep);
+        // Reads only warn, and only once the cell is shared-modified
+        // (a racing read of written-racy data); pure shared reads are
+        // a benign read-mostly pattern.
+        warn = cell_state == kStateSharedMod && candidate == 0 &&
+               !(keep & kReportedBit);
+        if (warn) next |= kReportedBit;
+        break;
+      }
+    }
+    if (cell.compare_exchange_weak(old, next, std::memory_order_relaxed)) {
+      if (warn) {
+        std::string message =
+            "sampled read of a racy persistent location with empty "
+            "candidate lockset [thread t" +
+            std::to_string(thread.id) + "] held=" +
+            DescribeLockset(thread.lockset_id) + "; bt: " +
+            CaptureBacktrace();
+        Report(report::Severity::kWarning, "unlocked-read", shadow, addr,
+               std::move(message));
+      }
+      return;
+    }
+  }
+}
+
+/// Maps [p, p+n) to (shadow, cell range); calls fn(shadow, index, addr)
+/// per cell. Accesses outside every shadowed arena are ignored.
+template <typename Fn>
+void ForEachCell(const void* p, std::size_t n, Fn&& fn) {
+  if (n == 0) return;
+  const auto start = reinterpret_cast<std::uintptr_t>(p);
+  const Shadow* shadow = ShadowFor(start);
+  if (shadow == nullptr) return;
+  const std::uint32_t bpc = GetState().options.bytes_per_cell;
+  const std::uintptr_t last = std::min(start + n - 1, shadow->arena_end - 1);
+  std::size_t first_cell = (start - shadow->arena_start) / bpc;
+  std::size_t last_cell = (last - shadow->arena_start) / bpc;
+  for (std::size_t i = first_cell; i <= last_cell; ++i) {
+    fn(*shadow, i, shadow->arena_start + i * bpc);
+  }
+}
+
+/// Overwrites cell state across [p, p+n) (allocator reset, fresh span,
+/// rollback), preserving only the exempt bit.
+void ResetCells(const void* p, std::size_t n, std::uint64_t state_bits,
+                std::uint32_t thread_id, std::uint32_t lockset_id) {
+  ForEachCell(p, n, [&](const Shadow& shadow, std::size_t i, std::uintptr_t) {
+    std::atomic<std::uint64_t>& cell = shadow.cells[i];
+    std::uint64_t old = cell.load(std::memory_order_relaxed);
+    for (int attempt = 0; attempt < 8; ++attempt) {
+      const std::uint64_t next =
+          MakeCell(state_bits, thread_id, lockset_id, old & kExemptBit);
+      if (cell.compare_exchange_weak(old, next, std::memory_order_relaxed)) {
+        return;
+      }
+    }
+  });
+}
+
+void ApplyExemptRange(const PendingRange& range) {
+  const auto p = reinterpret_cast<const void*>(range.start);
+  ForEachCell(p, range.end - range.start,
+              [](const Shadow& shadow, std::size_t i, std::uintptr_t) {
+                shadow.cells[i].fetch_or(kExemptBit,
+                                         std::memory_order_relaxed);
+              });
+}
+
+void RecomputeThreadLockset(ThreadState& thread) {
+  std::vector<const void*> sorted = thread.held;
+  std::sort(sorted.begin(), sorted.end());
+  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+  thread.lockset_id = InternLockset(std::move(sorted));
+}
+
+void RegisterObsSource() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    obs::DefaultRegistry().RegisterSource([](obs::SnapshotBuilder* builder) {
+      const RaceStats stats = RaceDetector::GetStats();
+      builder->AddCounter("analysis.races_checked", stats.races_checked);
+      builder->AddCounter("analysis.lockset_refinements",
+                          stats.lockset_refinements);
+      builder->AddCounter("analysis.lock_order_edges",
+                          stats.lock_order_edges);
+      builder->AddCounter("analysis.reads_sampled", stats.reads_sampled);
+      builder->AddCounter("analysis.exempt_accesses", stats.exempt_accesses);
+      builder->AddCounter("analysis.findings", stats.findings);
+    });
+  });
+}
+
+}  // namespace
+
+namespace analysis_internal {
+
+void OnStore(const void* p, std::size_t n, std::uint16_t atlas_thread,
+             std::uint64_t ocs) {
+  ThreadState& thread = CurrentThread();
+  if (thread.epoch_depth > 0) {
+    GetState().exempt_accesses.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  ForEachCell(p, n,
+              [&](const Shadow& shadow, std::size_t i, std::uintptr_t addr) {
+                UpdateCellWrite(shadow, i, addr, thread, atlas_thread, ocs);
+              });
+}
+
+void OnRead(const void* p, std::size_t n) {
+  ThreadState& thread = CurrentThread();
+  if (thread.epoch_depth > 0) return;
+  State& state = GetState();
+  const std::uint32_t rate = state.options.read_sample_rate;
+  if (rate > 1 && (thread.read_tick++ % rate) != 0) return;
+  state.reads_sampled.fetch_add(1, std::memory_order_relaxed);
+  ForEachCell(p, n,
+              [&](const Shadow& shadow, std::size_t i, std::uintptr_t addr) {
+                UpdateCellRead(shadow, i, addr, thread);
+              });
+}
+
+void OnAllocReset(const void* p, std::size_t n) {
+  ResetCells(p, n, kStateVirgin, 0, 0);
+}
+
+void OnFreshSpan(const void* p, std::size_t n) {
+  // A just-allocated object: exclusive to the allocating thread, so its
+  // init-phase stores (pre-publication, possibly differently-locked)
+  // never seed C(v).
+  ThreadState& thread = CurrentThread();
+  ResetCells(p, n, kStateExclusive, thread.id, thread.lockset_id);
+}
+
+void OnRollbackReset(const void* p, std::size_t n) {
+  ResetCells(p, n, kStateVirgin, 0, 0);
+}
+
+void OnLockAcquired(const void* mutex, std::uint32_t lock_id,
+                    std::uint64_t runtime_instance) {
+  State& state = GetState();
+  ThreadState& thread = CurrentThread();
+  const auto addr = reinterpret_cast<std::uint64_t>(mutex);
+  state.graph.RecordNode(addr, lock_id, runtime_instance);
+  for (const void* held : thread.held) {
+    state.graph.RecordEdge(reinterpret_cast<std::uint64_t>(held), addr);
+  }
+  thread.held.push_back(mutex);
+  RecomputeThreadLockset(thread);
+}
+
+void OnLockReleased(const void* mutex) {
+  ThreadState& thread = CurrentThread();
+  // Erase the innermost occurrence (locks release in any order, but
+  // nesting is the overwhelmingly common case).
+  for (auto it = thread.held.rbegin(); it != thread.held.rend(); ++it) {
+    if (*it == mutex) {
+      thread.held.erase(std::next(it).base());
+      break;
+    }
+  }
+  RecomputeThreadLockset(thread);
+}
+
+void OnEpochEnter() { ++CurrentThread().epoch_depth; }
+
+void OnEpochExit() {
+  ThreadState& thread = CurrentThread();
+  if (thread.epoch_depth > 0) --thread.epoch_depth;
+}
+
+}  // namespace analysis_internal
+
+Status RaceDetector::Enable(const std::vector<ArenaInfo>& arenas,
+                            const Options& options) {
+  State& state = GetState();
+  std::unique_lock<std::mutex> lock(state.mutex);
+  if (g_active.load(std::memory_order_relaxed)) {
+    return Status::FailedPrecondition("TSPRace is already enabled");
+  }
+  if (arenas.empty()) {
+    return Status::InvalidArgument("TSPRace needs at least one arena");
+  }
+  if (options.bytes_per_cell == 0 ||
+      (options.bytes_per_cell & (options.bytes_per_cell - 1)) != 0) {
+    return Status::InvalidArgument(
+        "bytes_per_cell must be a power of two");
+  }
+  state.options = options;
+  if (state.options.read_sample_rate == 0) state.options.read_sample_rate = 1;
+  state.own_sink = report::FindingSink(options.finding_cap);
+  state.sink = options.sink != nullptr ? options.sink : &state.own_sink;
+  state.locksets.assign(1, {});
+  state.lockset_ids.clear();
+  state.intersect_cache.clear();
+  state.graph.Clear();
+  state.reported_cycles.clear();
+  state.races_checked.store(0, std::memory_order_relaxed);
+  state.lockset_refinements.store(0, std::memory_order_relaxed);
+  state.reads_sampled.store(0, std::memory_order_relaxed);
+  state.exempt_accesses.store(0, std::memory_order_relaxed);
+  state.findings.store(0, std::memory_order_relaxed);
+
+  state.shadows.clear();
+  for (const ArenaInfo& arena : arenas) {
+    if (arena.base == nullptr || arena.arena_size == 0 ||
+        arena.arena_offset + arena.arena_size > arena.size) {
+      for (Shadow& done : state.shadows) {
+        munmap(done.cells, done.map_bytes);
+      }
+      state.shadows.clear();
+      return Status::InvalidArgument("TSPRace: malformed ArenaInfo for '" +
+                                     arena.name + "'");
+    }
+    Shadow shadow;
+    shadow.region_base = reinterpret_cast<std::uintptr_t>(arena.base);
+    shadow.arena_start = shadow.region_base + arena.arena_offset;
+    shadow.arena_end = shadow.arena_start + arena.arena_size;
+    shadow.cell_count =
+        (arena.arena_size + options.bytes_per_cell - 1) /
+        options.bytes_per_cell;
+    shadow.map_bytes = shadow.cell_count * sizeof(std::atomic<std::uint64_t>);
+    shadow.name = arena.name.empty() ? "arena" : arena.name;
+    // DRAM-only shadow, never persisted; zero-filled = all-virgin.
+    void* map = mmap(nullptr, shadow.map_bytes,  // tsp-lint: allow(raw-mmap)
+                     PROT_READ | PROT_WRITE, MAP_PRIVATE | MAP_ANONYMOUS,
+                     -1, 0);
+    if (map == MAP_FAILED) {
+      for (Shadow& done : state.shadows) {
+        munmap(done.cells, done.map_bytes);
+      }
+      state.shadows.clear();
+      return Status::ResourceExhausted(
+          std::string("TSPRace: shadow mmap failed: ") +
+          std::strerror(errno));
+    }
+    shadow.cells = static_cast<std::atomic<std::uint64_t>*>(map);
+    state.shadows.push_back(shadow);
+  }
+  lock.unlock();
+
+  {
+    std::lock_guard<std::mutex> ranges_lock(state.ranges_mutex);
+    for (const PendingRange& range : state.ranges) ApplyExemptRange(range);
+  }
+  RegisterObsSource();
+  g_active.store(true, std::memory_order_release);
+  return Status::OK();
+}
+
+void RaceDetector::Disable() {
+  State& state = GetState();
+  if (!g_active.load(std::memory_order_relaxed)) return;
+  CheckLockOrder();
+  g_active.store(false, std::memory_order_release);
+  std::lock_guard<std::mutex> lock(state.mutex);
+  for (Shadow& shadow : state.shadows) {
+    munmap(shadow.cells, shadow.map_bytes);
+  }
+  state.shadows.clear();
+}
+
+bool RaceDetector::active() {
+  return g_active.load(std::memory_order_acquire);
+}
+
+bool RaceDetector::enabled_by_env() {
+  const char* value = std::getenv("TSP_RACE");
+  return value != nullptr && value[0] != '\0' &&
+         !(value[0] == '0' && value[1] == '\0');
+}
+
+void RaceDetector::RegisterNonBlockingRange(const void* p, std::size_t n,
+                                            const char* domain) {
+  if (p == nullptr || n == 0) return;
+  State& state = GetState();
+  const auto start = reinterpret_cast<std::uintptr_t>(p);
+  PendingRange range{start, start + n, domain != nullptr ? domain : ""};
+  {
+    std::lock_guard<std::mutex> lock(state.ranges_mutex);
+    state.ranges.push_back(range);
+  }
+  if (active()) ApplyExemptRange(range);
+}
+
+std::size_t RaceDetector::CheckLockOrder() {
+  State& state = GetState();
+  const std::vector<LockCycle> cycles = state.graph.FindCycles();
+  std::size_t reported = 0;
+  for (const LockCycle& cycle : cycles) {
+    bool fresh;
+    {
+      std::lock_guard<std::mutex> lock(state.mutex);
+      fresh = state.reported_cycles.insert(cycle.nodes).second;
+    }
+    if (!fresh) continue;
+    ++reported;
+    std::string path;
+    char buf[32];
+    for (std::uint64_t node : cycle.nodes) {
+      std::snprintf(buf, sizeof(buf), "0x%" PRIx64 " -> ", node);
+      path += buf;
+    }
+    std::snprintf(buf, sizeof(buf), "0x%" PRIx64, cycle.nodes.front());
+    path += buf;
+    std::string message = "PMutex acquisition-order cycle: " + path;
+    message += cycle.cross_shard
+                   ? " (CROSS-SHARD: an OCS dependency cycle between "
+                     "runtimes — shard recoveries do not commute)"
+                   : " (single runtime: deadlock risk)";
+    report::Finding finding;
+    finding.severity = report::Severity::kError;
+    finding.tool = "tsprace";
+    finding.rule = "lock-order-cycle";
+    char loc[32];
+    std::snprintf(loc, sizeof(loc), "0x%" PRIx64, cycle.nodes.front());
+    finding.location = loc;
+    finding.message = std::move(message);
+    state.findings.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(state.mutex);
+    if (state.sink != nullptr) state.sink->Add(finding);
+  }
+  return cycles.size();
+}
+
+std::vector<report::Finding> RaceDetector::FindingsSnapshot() {
+  State& state = GetState();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  if (state.sink == nullptr) return {};
+  return state.sink->findings();
+}
+
+std::size_t RaceDetector::error_count() {
+  State& state = GetState();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  return state.sink != nullptr ? state.sink->error_count() : 0;
+}
+
+RaceStats RaceDetector::GetStats() {
+  State& state = GetState();
+  RaceStats stats;
+  stats.races_checked = state.races_checked.load(std::memory_order_relaxed);
+  stats.lockset_refinements =
+      state.lockset_refinements.load(std::memory_order_relaxed);
+  stats.lock_order_edges = state.graph.edge_count();
+  stats.reads_sampled = state.reads_sampled.load(std::memory_order_relaxed);
+  stats.exempt_accesses =
+      state.exempt_accesses.load(std::memory_order_relaxed);
+  stats.findings = state.findings.load(std::memory_order_relaxed);
+  return stats;
+}
+
+const LockOrderGraph& RaceDetector::LockGraph() { return GetState().graph; }
+
+bool RaceDetector::SaveLockGraph(const std::string& path,
+                                 std::string* error) {
+  State& state = GetState();
+  const RaceStats stats = GetStats();
+  state.graph.SetCounter("races_checked", stats.races_checked);
+  state.graph.SetCounter("lockset_refinements", stats.lockset_refinements);
+  state.graph.SetCounter("lock_order_edges", stats.lock_order_edges);
+  state.graph.SetCounter("reads_sampled", stats.reads_sampled);
+  state.graph.SetCounter("findings", stats.findings);
+  return state.graph.SaveTo(path, error);
+}
+
+#else  // TSP_ANALYSIS_DISABLED
+
+Status RaceDetector::Enable(const std::vector<ArenaInfo>&, const Options&) {
+  return Status::FailedPrecondition(
+      "TSPRace was compiled out (-DTSP_ANALYSIS=OFF)");
+}
+
+void RaceDetector::Disable() {}
+bool RaceDetector::active() { return false; }
+
+bool RaceDetector::enabled_by_env() {
+  const char* value = std::getenv("TSP_RACE");
+  return value != nullptr && value[0] != '\0' &&
+         !(value[0] == '0' && value[1] == '\0');
+}
+
+void RaceDetector::RegisterNonBlockingRange(const void*, std::size_t,
+                                            const char*) {}
+std::size_t RaceDetector::CheckLockOrder() { return 0; }
+std::vector<report::Finding> RaceDetector::FindingsSnapshot() { return {}; }
+std::size_t RaceDetector::error_count() { return 0; }
+RaceStats RaceDetector::GetStats() { return RaceStats{}; }
+
+const LockOrderGraph& RaceDetector::LockGraph() {
+  static LockOrderGraph* graph = new LockOrderGraph;
+  return *graph;
+}
+
+bool RaceDetector::SaveLockGraph(const std::string& path, std::string* error) {
+  (void)path;
+  if (error != nullptr) *error = "TSPRace was compiled out";
+  return false;
+}
+
+#endif  // TSP_ANALYSIS_DISABLED
+
+}  // namespace tsp::analysis

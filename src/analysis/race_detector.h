@@ -1,0 +1,152 @@
+// Copyright 2026 The TSP Authors.
+// TSPRace: dynamic persistence-race detector for the TSP arena.
+//
+// TSAN checks the C++ memory model; it cannot see a store that is
+// data-race-free yet *persistence-race-ful* — e.g. two threads updating
+// the same persistent word under two different PMutexes. Each store is
+// individually undo-logged, TSAN sees a happens-before edge through
+// whichever synchronisation the threads do share, but recovery's
+// rollback unit is the OCS of the lock that guarded the store: with an
+// inconsistent discipline, rolling back one thread's OCS can clobber
+// the other's committed value (paper §3, Eq. (1)/(2) assume one
+// consistent lock per datum). TSPRace finds exactly this class.
+//
+// Mechanism: DRAM shadow cells over the persistent arena, fed by the
+// blessed-writer hooks in race_hooks.h, running Eraser-style lockset
+// intersection keyed by PMutex identity (the PMutex*, which is
+// process-unique — lock_id is only unique per runtime):
+//
+//   virgin → exclusive(T) → shared / shared-modified
+//
+// A cell's candidate lockset C(v) is set at the first genuinely shared
+// access and refined by intersection afterwards; an empty C(v) at a
+// write is a violation ("unlocked-store" when the writer holds nothing,
+// "wrong-lock-store" when it holds the wrong locks). Exemptions mirror
+// the undo-log diet: NoteAlloc fresh spans (pre-publication stores),
+// RegisterNonBlockingRange domains (§4.1 lock-free structures), epoch
+// guard sections, and allocator/rollback resets.
+//
+// Cells default to word (8-byte) granularity — the same granularity the
+// undo log stages at (StageWord). The issue's cache-line granularity is
+// available via Options::bytes_per_cell = 64, but false-shares
+// unrelated sub-line allocations (two 32-byte HashEntry blocks under
+// different bucket locks) and so cannot hold the zero-findings-on-
+// clean-tree gate.
+//
+// Under -DTSP_ANALYSIS=OFF the hooks compile to nothing and Enable
+// returns failed_precondition; LockOrderGraph stays available so
+// `tsp_inspect locks` still reads sidecars.
+
+#ifndef TSP_ANALYSIS_RACE_DETECTOR_H_
+#define TSP_ANALYSIS_RACE_DETECTOR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/lock_order.h"
+#include "common/findings.h"
+#include "common/status.h"
+
+namespace tsp::analysis {
+
+/// One persistent mapping to shadow. `arena_offset`/`arena_size` bound
+/// the allocatable payload span inside the mapping (the region header
+/// and rings are written by the runtime itself, not by blessed user
+/// stores, and are not shadowed). Raw fields, not MappedRegion:
+/// tsp_analysis links below tsp_pheap.
+struct ArenaInfo {
+  const void* base = nullptr;   // mapping base address
+  std::size_t size = 0;         // total mapping size
+  std::size_t arena_offset = 0; // payload arena start, relative to base
+  std::size_t arena_size = 0;   // payload arena length
+  std::string name;             // for reports ("heap0", ...)
+};
+
+/// Counters mirrored into the obs registry as analysis.* (pull source).
+struct RaceStats {
+  std::uint64_t races_checked = 0;       // shadowed accesses examined
+  std::uint64_t lockset_refinements = 0; // C(v) intersections performed
+  std::uint64_t lock_order_edges = 0;    // distinct held→acquired edges
+  std::uint64_t reads_sampled = 0;       // read hooks that passed sampling
+  std::uint64_t exempt_accesses = 0;     // nonblocking/fresh/epoch skips
+  std::uint64_t findings = 0;            // violations reported
+};
+
+class RaceDetector {
+ public:
+  struct Options {
+    /// Destination for findings; null = use the detector's own sink
+    /// (readable via FindingsSnapshot).
+    report::FindingSink* sink = nullptr;
+    /// When nonzero, _exit(code) on the first kError finding — the
+    /// faultsim harness uses a distinct exit code (5) to tell a
+    /// persistence-race abort from a TSPSan abort (4) or a crash.
+    int violation_exit_code = 0;
+    /// Process 1 in N read hooks (per thread). 1 = every read.
+    std::uint32_t read_sample_rate = 8;
+    /// Shadow-cell width in bytes: 8 (default, word-granular like the
+    /// undo log) or 64 (cache-line, per-issue, false-sharing-prone).
+    std::uint32_t bytes_per_cell = 8;
+    /// Findings retained by the internal sink.
+    std::size_t finding_cap = 64;
+  };
+
+  /// Arms the detector over `arenas`. Fails if already active, if
+  /// arenas is empty, or under -DTSP_ANALYSIS=OFF. While armed, every
+  /// hook in race_hooks.h feeds the shadow state.
+  static Status Enable(const std::vector<ArenaInfo>& arenas,
+                       const Options& options);
+  static Status Enable(const std::vector<ArenaInfo>& arenas) {
+    return Enable(arenas, Options{});
+  }
+
+  /// Disarms, runs the lock-order cycle check (emitting
+  /// "lock-order-cycle" findings), and frees the shadow. Hook calls
+  /// after Disable are no-ops.
+  static void Disable();
+
+  static bool active();
+  /// False when built with -DTSP_ANALYSIS=OFF (tests GTEST_SKIP on it).
+  static constexpr bool compiled_in() {
+#ifndef TSP_ANALYSIS_DISABLED
+    return true;
+#else
+    return false;
+#endif
+  }
+  /// True when TSP_RACE=1 in the environment (MapSession auto-arms).
+  static bool enabled_by_env();
+
+  /// Mirror of TspSanitizer::RegisterNonBlockingRange: [p, p+n) belongs
+  /// to a §4.1 lock-free domain and is exempt from lockset checking.
+  /// Recorded even while disarmed (structures register their spans
+  /// during session open, before arming) and applied at Enable.
+  static void RegisterNonBlockingRange(const void* p, std::size_t n,
+                                       const char* domain);
+
+  /// Runs cycle detection on the lock-order graph now and reports each
+  /// cycle as a "lock-order-cycle" finding; returns the cycle count.
+  /// (Disable calls this automatically.)
+  static std::size_t CheckLockOrder();
+
+  /// Copy of the internal sink's findings (valid while armed and after
+  /// Disable, until the next Enable).
+  static std::vector<report::Finding> FindingsSnapshot();
+  static std::size_t error_count();
+
+  static RaceStats GetStats();
+
+  /// The accumulated lock-order graph (counters stamped from GetStats).
+  /// Survives Disable until the next Enable.
+  static const LockOrderGraph& LockGraph();
+
+  /// Writes the lock-order graph sidecar ("tsp-lockgraph v1").
+  static bool SaveLockGraph(const std::string& path,
+                            std::string* error = nullptr);
+};
+
+}  // namespace tsp::analysis
+
+#endif  // TSP_ANALYSIS_RACE_DETECTOR_H_

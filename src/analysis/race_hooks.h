@@ -1,0 +1,138 @@
+// Copyright 2026 The TSP Authors.
+// TSPRace hook surface: the inline, near-zero-cost entry points the
+// blessed writers call into the persistence-race detector.
+//
+// This header is included from hot paths (AtlasThread::Store, PMutex
+// lock/unlock, the allocator) and therefore carries no dependencies
+// beyond <atomic>. Every hook compiles to one relaxed load and a
+// never-taken branch while the detector is disarmed, and to nothing at
+// all under -DTSP_ANALYSIS=OFF (TSP_ANALYSIS_DISABLED). The detector
+// itself lives in race_detector.h.
+//
+// Layering note: tsp_analysis sits *below* pheap/atlas/lockfree in the
+// link order (those libraries call these hooks), so the hooks speak raw
+// (pointer, size) pairs — never MappedRegion or AtlasThread types.
+
+#ifndef TSP_ANALYSIS_RACE_HOOKS_H_
+#define TSP_ANALYSIS_RACE_HOOKS_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace tsp::analysis {
+
+namespace analysis_internal {
+/// Inline-visible so the disarmed fast path is one relaxed load + an
+/// untaken branch; do not touch directly (RaceDetector::Enable owns it).
+extern std::atomic<bool> g_active;
+
+#ifndef TSP_ANALYSIS_DISABLED
+// Out-of-line slow paths, called only while the detector is armed.
+void OnStore(const void* p, std::size_t n, std::uint16_t atlas_thread,
+             std::uint64_t ocs);
+void OnRead(const void* p, std::size_t n);
+void OnAllocReset(const void* p, std::size_t n);
+void OnFreshSpan(const void* p, std::size_t n);
+void OnRollbackReset(const void* p, std::size_t n);
+void OnLockAcquired(const void* mutex, std::uint32_t lock_id,
+                    std::uint64_t runtime_instance);
+void OnLockReleased(const void* mutex);
+void OnEpochEnter();
+void OnEpochExit();
+#endif  // TSP_ANALYSIS_DISABLED
+}  // namespace analysis_internal
+
+/// True while RaceDetector::Enable armed the detector (mirrors
+/// RaceDetector::active(); duplicated here to keep this header free of
+/// the detector's dependencies).
+inline bool RaceHooksArmed() {
+#ifndef TSP_ANALYSIS_DISABLED
+  return analysis_internal::g_active.load(std::memory_order_acquire);
+#else
+  return false;
+#endif
+}
+
+#ifndef TSP_ANALYSIS_DISABLED
+
+/// A blessed store of [p, p+n) about to execute. `atlas_thread` /
+/// `ocs` attribute the access in violation reports (pass 0 when the
+/// writer has no Atlas context, e.g. the recovery path).
+inline void HookStore(const void* p, std::size_t n,
+                      std::uint16_t atlas_thread, std::uint64_t ocs) {
+  if (RaceHooksArmed()) analysis_internal::OnStore(p, n, atlas_thread, ocs);
+}
+
+/// A sampled read of [p, p+n) (map lookups and traversals). The
+/// detector subsamples internally; call sites just report every read.
+inline void HookRead(const void* p, std::size_t n) {
+  if (RaceHooksArmed()) analysis_internal::OnRead(p, n);
+}
+
+/// The allocator handed out a block whose payload is [p, p+n): reset
+/// its shadow state so lockset history from a previous tenant of the
+/// memory cannot produce a false positive after reallocation.
+inline void HookAlloc(const void* p, std::size_t n) {
+  if (RaceHooksArmed() && p != nullptr) {
+    analysis_internal::OnAllocReset(p, n);
+  }
+}
+
+/// AtlasThread::NoteAlloc registered [p, p+n) as OCS-fresh: stores
+/// into it are exempt until the object is published (mirrors the
+/// undo-log fresh-store elision).
+inline void HookFreshSpan(const void* p, std::size_t n) {
+  if (RaceHooksArmed()) analysis_internal::OnFreshSpan(p, n);
+}
+
+/// Recovery rollback restored [p, p+n); reset the shadow (rollback is
+/// a blessed single-threaded writer).
+inline void HookRollback(const void* p, std::size_t n) {
+  if (RaceHooksArmed()) analysis_internal::OnRollbackReset(p, n);
+}
+
+/// A PMutex was acquired / released by the calling thread. `mutex` is
+/// the lock's identity (process-unique; lock_id alone is only unique
+/// per runtime). Feeds both the thread lockset and the lock-order
+/// graph.
+inline void HookLockAcquired(const void* mutex, std::uint32_t lock_id,
+                             std::uint64_t runtime_instance) {
+  if (RaceHooksArmed()) {
+    analysis_internal::OnLockAcquired(mutex, lock_id, runtime_instance);
+  }
+}
+
+inline void HookLockReleased(const void* mutex) {
+  if (RaceHooksArmed()) analysis_internal::OnLockReleased(mutex);
+}
+
+/// Epoch guard entry/exit (lockfree::EpochManager): accesses made
+/// inside a guard are traversal-phase accesses of a §4.1 structure and
+/// exempt from the lockset discipline (NVTraverse-style blessing).
+inline void HookEpochEnter() {
+  if (RaceHooksArmed()) analysis_internal::OnEpochEnter();
+}
+
+inline void HookEpochExit() {
+  if (RaceHooksArmed()) analysis_internal::OnEpochExit();
+}
+
+#else  // TSP_ANALYSIS_DISABLED
+
+inline void HookStore(const void*, std::size_t, std::uint16_t,
+                      std::uint64_t) {}
+inline void HookRead(const void*, std::size_t) {}
+inline void HookAlloc(const void*, std::size_t) {}
+inline void HookFreshSpan(const void*, std::size_t) {}
+inline void HookRollback(const void*, std::size_t) {}
+inline void HookLockAcquired(const void*, std::uint32_t, std::uint64_t) {}
+inline void HookLockReleased(const void*) {}
+inline void HookEpochEnter() {}
+inline void HookEpochExit() {}
+
+#endif  // TSP_ANALYSIS_DISABLED
+
+}  // namespace tsp::analysis
+
+#endif  // TSP_ANALYSIS_RACE_HOOKS_H_

@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <mutex>
 
+#include "analysis/race_hooks.h"
 #include "atlas/runtime.h"
 
 namespace tsp::atlas {
@@ -62,9 +63,14 @@ class alignas(64) PMutex {
     } else {
       mutex_.lock();
     }
+    // TSPRace keys locksets and the lock-order graph on the PMutex
+    // address (process-unique; lock_id_ repeats across runtimes).
+    analysis::HookLockAcquired(
+        this, lock_id_, runtime_ != nullptr ? runtime_->instance_id() : 0);
   }
 
   void UnlockWith(AtlasThread* thread) {
+    analysis::HookLockReleased(this);
     if (thread != nullptr) {
       thread->OnReleaseBegin(&lock_word_, lock_id_);
       mutex_.unlock();
@@ -82,6 +88,8 @@ class alignas(64) PMutex {
       // No prep before a try: on failure the OCS would never open.
       thread->OnAcquire(&lock_word_, lock_id_);
     }
+    analysis::HookLockAcquired(
+        this, lock_id_, runtime_ != nullptr ? runtime_->instance_id() : 0);
     return true;
   }
 

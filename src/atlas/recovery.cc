@@ -8,6 +8,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "analysis/race_hooks.h"
 #include "atlas/log_layout.h"
 #include "common/logging.h"
 #include "obs/metrics.h"
@@ -332,7 +333,10 @@ StatusOr<RecoveryStats> RecoverAtlas(pheap::PersistentHeap* heap) {
                                 : static_cast<const void*>(
                                       &record.old_value);
     // Rollback is a blessed writer under TSPSan: it restores the logged
-    // old value, which is by definition the logged state.
+    // old value, which is by definition the logged state. TSPRace
+    // resets the restored span's shadow for the same reason.
+    analysis::HookRollback(region->FromOffset(record.addr_offset),
+                           record.size);
     pheap::ScopedWriteWindow window(region->FromOffset(record.addr_offset),
                                     record.size);
     std::memcpy(region->FromOffset(record.addr_offset), old_bytes,

@@ -381,6 +381,7 @@ void AtlasThread::StoreBytes(void* dst, const void* src, std::size_t n) {
       PublishStaged(/*ordered=*/true);
     }
   }
+  analysis::HookStore(dst, n, thread_id_, current_ocs_);
   pheap::ScopedWriteWindow window(dst, n);
   std::memcpy(dst, src, n);
 }
@@ -589,6 +590,9 @@ void AtlasThread::NoteAlloc(const void* payload, std::uint32_t type_id) {
       pheap::Allocator::HeaderOf(payload)->size() -
       sizeof(pheap::BlockHeader);
   fresh_spans_.emplace_back(offset, offset + payload_bytes);
+  // TSPRace mirrors the fresh-span exemption: init-phase stores into an
+  // unpublished object must not seed the cell's candidate lockset.
+  analysis::HookFreshSpan(payload, payload_bytes);
   // Staged, not published: the marker is diagnostics-only (recovery
   // reclaims leaked blocks by reachability), so it rides along with the
   // next capture's publish — or is dropped with the bracket when a

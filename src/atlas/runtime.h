@@ -38,6 +38,7 @@
 #include <type_traits>
 #include <vector>
 
+#include "analysis/race_hooks.h"
 #include "atlas/address_set.h"
 #include "atlas/log_layout.h"
 #include "atlas/stability.h"
@@ -131,6 +132,7 @@ class AtlasThread {
     static_assert(std::is_trivially_copyable_v<T> && sizeof(T) <= 8,
                   "Store handles word-sized values; use StoreBytes");
     if (depth_ > 0) LogOldValue(addr, sizeof(T));
+    analysis::HookStore(addr, sizeof(T), thread_id_, current_ocs_);
     // The logged-store API is the blessed writer under TSPSan; raw
     // stores to the protected arena fault with a diagnostic instead.
     pheap::ScopedWriteWindow window(addr, sizeof(T));

@@ -9,6 +9,7 @@
 #include <chrono>
 #include <thread>
 
+#include "analysis/race_detector.h"
 #include "atlas/log_layout.h"
 #include "common/logging.h"
 #include "common/random.h"
@@ -82,6 +83,30 @@ std::string TraceTailSummary(const std::string& path,
       _exit(2);
     }
   }
+  if ((options.enable_race_detector ||
+       analysis::RaceDetector::enabled_by_env()) &&
+      analysis::RaceDetector::compiled_in() &&
+      !analysis::RaceDetector::active()) {
+    std::vector<analysis::ArenaInfo> arenas;
+    for (int shard = 0; shard < (*session)->shard_count(); ++shard) {
+      const pheap::MappedRegion* region = (*session)->heap(shard)->region();
+      analysis::ArenaInfo arena;
+      arena.base = region->base();
+      arena.size = region->size();
+      arena.arena_offset = region->header()->arena_offset;
+      arena.arena_size = region->header()->arena_size;
+      arena.name = "heap" + std::to_string(shard);
+      arenas.push_back(std::move(arena));
+    }
+    analysis::RaceDetector::Options race;
+    race.violation_exit_code = 5;  // distinguishes a TSPRace trap below
+    Status status = analysis::RaceDetector::Enable(arenas, race);
+    if (!status.ok()) {
+      TSP_LOG(ERROR) << "worker failed to enable TSPRace: "
+                     << status.ToString();
+      _exit(2);
+    }
+  }
   std::atomic<bool> stop{false};  // never set: we run until SIGKILL
   workload::RunMapWorkload((*session)->map(), options.workload, &stop);
   _exit(3);  // unreachable unless the workload somehow finishes
@@ -149,11 +174,17 @@ CrashCycleReport RunCrashCycles(const CrashCycleOptions& options) {
       return error;
     };
     if (WIFEXITED(status)) {
-      // The worker exited before the kill (e.g., setup failure).
-      report.errors.push_back("cycle " + std::to_string(cycle) +
-                              ": worker exited with status " +
-                              std::to_string(WEXITSTATUS(status)) +
-                              " instead of being killed");
+      // The worker exited before the kill (e.g., setup failure, or a
+      // sanitizer trap: 4 = TSPSan unlogged store, 5 = TSPRace
+      // persistence-race violation).
+      const int code = WEXITSTATUS(status);
+      std::string reason = "worker exited with status " +
+                           std::to_string(code) +
+                           " instead of being killed";
+      if (code == 4) reason += " (TSPSan violation)";
+      if (code == 5) reason += " (TSPRace violation)";
+      report.errors.push_back("cycle " + std::to_string(cycle) + ": " +
+                              reason);
       continue;
     }
 

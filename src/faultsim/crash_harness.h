@@ -51,6 +51,12 @@ struct CrashCycleOptions {
   /// session.shards > 1 only shard 0 is armed; the other shards run
   /// unchecked (their stores still hit the same logged-store paths).
   bool enable_tspsan = false;
+  /// Arm TSPRace (the persistence-race/lock-order detector) in the
+  /// forked worker: a lockset violation exits with a distinct code the
+  /// harness reports instead of the expected SIGKILL. Also armed when
+  /// TSP_RACE is set in the environment. Compiled out under
+  /// -DTSP_ANALYSIS=OFF (the worker then runs unchecked).
+  bool enable_race_detector = false;
   /// Print one line per cycle.
   bool verbose = false;
 };

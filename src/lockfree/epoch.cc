@@ -1,5 +1,7 @@
 #include "lockfree/epoch.h"
 
+#include "analysis/race_hooks.h"
+
 namespace tsp::lockfree {
 namespace {
 
@@ -61,6 +63,9 @@ void EpochManager::UnregisterCurrentThread() {
 }
 
 void EpochManager::Enter() {
+  // Accesses under an epoch guard are §4.1 traversal-phase accesses;
+  // TSPRace exempts them from the lockset discipline.
+  analysis::HookEpochEnter();
   Slot* slot = MySlot();
   // Announce-and-revalidate: after the (seq_cst) announcement becomes
   // visible, re-read the global epoch; if it moved, re-announce. Once
@@ -78,6 +83,7 @@ void EpochManager::Enter() {
 
 void EpochManager::Exit() {
   MySlot()->state.store(0, std::memory_order_release);
+  analysis::HookEpochExit();
 }
 
 void EpochManager::Retire(void* p) {

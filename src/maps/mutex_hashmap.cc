@@ -2,6 +2,7 @@
 
 #include <new>
 
+#include "analysis/race_hooks.h"
 #include "common/logging.h"
 
 namespace tsp::maps {
@@ -105,6 +106,9 @@ std::optional<std::uint64_t> MutexHashMap::Get(std::uint64_t key) const {
   atlas::PMutexLock lock(LockFor(bucket));
   for (const HashEntry* entry = root_->buckets->buckets[bucket];
        entry != nullptr; entry = entry->next) {
+    // TSPRace read-sampling hook: lets the detector move entries out of
+    // Exclusive state so wrong-lock writers are caught, not adopted.
+    analysis::HookRead(entry, sizeof(HashEntry));
     if (entry->key == key) return entry->value;
   }
   return std::nullopt;

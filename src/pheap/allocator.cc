@@ -6,6 +6,7 @@
 #include <cstring>
 #include <utility>
 
+#include "analysis/race_hooks.h"
 #include "common/logging.h"
 #include "obs/metrics.h"
 #include "obs/recorder.h"
@@ -471,11 +472,21 @@ void* Allocator::Alloc(std::size_t payload_size, std::uint32_t type_id) {
   const int size_class = SizeClassOf(block_size);
   TSP_DCHECK_GE(size_class, 0);
 
+  void* payload = nullptr;
   if (magazines_enabled_ && size_class < kNumMagazineClasses) {
     ThreadCache* cache = GetCache();
-    if (cache != nullptr) return cache->Alloc(size_class, block_size, type_id);
+    if (cache != nullptr) {
+      payload = cache->Alloc(size_class, block_size, type_id);
+    } else {
+      payload = AllocShared(size_class, block_size, type_id, /*owner_tag=*/0);
+    }
+  } else {
+    payload = AllocShared(size_class, block_size, type_id, /*owner_tag=*/0);
   }
-  return AllocShared(size_class, block_size, type_id, /*owner_tag=*/0);
+  // TSPRace: a recycled block must not inherit lockset history from its
+  // previous tenant — reset its shadow cells to virgin.
+  analysis::HookAlloc(payload, block_size - sizeof(BlockHeader));
+  return payload;
 }
 
 void* Allocator::AllocShared(int size_class, std::size_t block_size,

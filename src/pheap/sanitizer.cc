@@ -15,6 +15,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "analysis/race_detector.h"
 #include "common/logging.h"
 #include "pheap/allocator.h"
 #include "pheap/layout.h"
@@ -278,6 +279,11 @@ bool TspSanitizer::enabled_by_env() {
 
 void TspSanitizer::RegisterNonBlockingRange(const void* p, std::size_t n,
                                             const char* domain) {
+  // TSPRace shares the §4.1 exemption registry: mirror every range
+  // before the active() gate below — structures register during session
+  // open, before either checker is armed, and TSPRace records ranges
+  // unconditionally so it can apply them at Enable.
+  analysis::RaceDetector::RegisterNonBlockingRange(p, n, domain);
   if (!active() || n == 0) return;
   State& state = GetState();
   std::lock_guard<std::mutex> lock(state.mutex);

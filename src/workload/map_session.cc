@@ -1,5 +1,8 @@
 #include "workload/map_session.h"
 
+#include <cstdlib>
+
+#include "analysis/race_detector.h"
 #include "common/logging.h"
 #include "maps/sharded_map.h"
 
@@ -127,16 +130,41 @@ Status MapSession::Init() {
 
   if (config_.shards == 1) {
     TSP_ASSIGN_OR_RETURN(map_, InitShard(0));
-    return Status::OK();
+  } else {
+    std::vector<std::unique_ptr<maps::Map>> shard_maps;
+    shard_maps.reserve(heaps_.size());
+    for (int i = 0; i < static_cast<int>(heaps_.size()); ++i) {
+      TSP_ASSIGN_OR_RETURN(std::unique_ptr<maps::Map> shard_map,
+                           InitShard(i));
+      shard_maps.push_back(std::move(shard_map));
+    }
+    map_ = std::make_unique<maps::ShardedMap>(std::move(shard_maps));
   }
-  std::vector<std::unique_ptr<maps::Map>> shard_maps;
-  shard_maps.reserve(heaps_.size());
-  for (int i = 0; i < static_cast<int>(heaps_.size()); ++i) {
-    TSP_ASSIGN_OR_RETURN(std::unique_ptr<maps::Map> shard_map,
-                         InitShard(i));
-    shard_maps.push_back(std::move(shard_map));
+
+  // TSP_RACE=1: arm TSPRace over every shard arena. Arming happens
+  // last — after recovery (rollback is pre-session history) and after
+  // the maps registered their non-blocking ranges.
+  if (analysis::RaceDetector::enabled_by_env() &&
+      !analysis::RaceDetector::active()) {
+    std::vector<analysis::ArenaInfo> arenas;
+    for (std::size_t i = 0; i < heaps_.size(); ++i) {
+      const pheap::MappedRegion* region = heaps_[i]->region();
+      analysis::ArenaInfo arena;
+      arena.base = region->base();
+      arena.size = region->size();
+      arena.arena_offset = region->header()->arena_offset;
+      arena.arena_size = region->header()->arena_size;
+      arena.name = "heap" + std::to_string(i);
+      arenas.push_back(std::move(arena));
+    }
+    const Status status = analysis::RaceDetector::Enable(arenas);
+    if (status.ok()) {
+      race_detector_armed_ = true;
+    } else {
+      TSP_LOG(WARNING) << "TSP_RACE set but TSPRace did not arm: "
+                       << status.ToString();
+    }
   }
-  map_ = std::make_unique<maps::ShardedMap>(std::move(shard_maps));
   return Status::OK();
 }
 
@@ -223,7 +251,29 @@ StatusOr<std::unique_ptr<maps::Map>> MapSession::InitShard(int shard) {
   return Status::Internal("unreachable map variant");
 }
 
+void MapSession::DisarmRaceDetector() {
+  if (!race_detector_armed_) return;
+  race_detector_armed_ = false;
+  if (const char* graph_path = std::getenv("TSP_RACE_GRAPH");
+      graph_path != nullptr && graph_path[0] != '\0') {
+    std::string error;
+    if (!analysis::RaceDetector::SaveLockGraph(graph_path, &error)) {
+      TSP_LOG(WARNING) << "TSP_RACE_GRAPH save failed: " << error;
+    }
+  }
+  analysis::RaceDetector::Disable();
+  const std::size_t errors = analysis::RaceDetector::error_count();
+  if (errors != 0) {
+    TSP_LOG(ERROR) << "TSPRace found " << errors
+                   << " persistence-race violation(s) in this session";
+  }
+}
+
 void MapSession::CloseClean() {
+  // Disarm before the maps and heaps go away: the detector's shadow
+  // spans the heap mappings, and teardown stores must not be checked
+  // against a dying lockset state.
+  DisarmRaceDetector();
   map_.reset();
   skiplists_.clear();
   runtimes_.clear();
@@ -232,6 +282,6 @@ void MapSession::CloseClean() {
   }
 }
 
-MapSession::~MapSession() = default;
+MapSession::~MapSession() { DisarmRaceDetector(); }
 
 }  // namespace tsp::workload

@@ -112,6 +112,9 @@ class MapSession {
   /// this is indistinguishable from a crash.
   void CloseClean();
 
+  /// True when this session armed TSPRace (TSP_RACE=1 at Init).
+  bool race_detector_armed() const { return race_detector_armed_; }
+
  private:
   /// Persistent session root: tags the variant and shard count, points
   /// at the map.
@@ -130,6 +133,9 @@ class MapSession {
   /// Locates/creates shard `i`'s session root, attaches its runtime,
   /// and returns its map.
   StatusOr<std::unique_ptr<maps::Map>> InitShard(int shard);
+  /// Disables a session-armed TSPRace, saving the lock-order graph
+  /// sidecar first when TSP_RACE_GRAPH names a path.
+  void DisarmRaceDetector();
 
   Config config_;
   std::vector<std::unique_ptr<pheap::PersistentHeap>> heaps_;
@@ -137,6 +143,7 @@ class MapSession {
   std::vector<std::unique_ptr<lockfree::SkipListMap>> skiplists_;
   std::unique_ptr<maps::Map> map_;
   bool recovered_ = false;
+  bool race_detector_armed_ = false;
   atlas::FullRecoveryResult recovery_;
 };
 

@@ -1,0 +1,154 @@
+// LockOrderGraph unit tests: edge/node recording, cross-shard edge
+// classification, elementary-cycle detection with canonical-start
+// dedup, and the "tsp-lockgraph v1" sidecar round trip. The graph is
+// always compiled (even under -DTSP_ANALYSIS=OFF), so these run in
+// both build modes.
+
+#include "analysis/lock_order.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+namespace tsp::analysis {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(LockOrderGraphTest, RecordsNodesAndEdges) {
+  LockOrderGraph graph;
+  graph.RecordNode(0x100, 1, 7);
+  graph.RecordNode(0x100, 1, 7);  // second acquisition, same node
+  graph.RecordNode(0x200, 2, 7);
+  graph.RecordEdge(0x100, 0x200);
+  graph.RecordEdge(0x100, 0x200);
+
+  const auto nodes = graph.Nodes();
+  ASSERT_EQ(nodes.size(), 2u);
+  EXPECT_EQ(nodes[0].addr, 0x100u);
+  EXPECT_EQ(nodes[0].acquisitions, 2u);
+  const auto edges = graph.Edges();
+  ASSERT_EQ(edges.size(), 1u);
+  EXPECT_EQ(edges[0].count, 2u);
+  EXPECT_EQ(graph.edge_count(), 1u);
+}
+
+TEST(LockOrderGraphTest, CrossShardNeedsTwoDistinctNonzeroRuntimes) {
+  LockOrderGraph graph;
+  graph.RecordNode(0x1, 1, 7);   // runtime 7
+  graph.RecordNode(0x2, 1, 9);   // runtime 9
+  graph.RecordNode(0x3, 1, 0);   // plain mutex, no shard
+  graph.RecordNode(0x4, 2, 7);   // runtime 7 again
+  graph.RecordEdge(0x1, 0x2);    // cross-shard
+  graph.RecordEdge(0x1, 0x3);    // one endpoint shard-less: not cross
+  graph.RecordEdge(0x1, 0x4);    // same runtime: not cross
+
+  for (const LockEdge& edge : graph.Edges()) {
+    EXPECT_EQ(edge.cross_shard, edge.to == 0x2u)
+        << "edge to 0x" << std::hex << edge.to;
+  }
+}
+
+TEST(LockOrderGraphTest, AcyclicGraphHasNoCycles) {
+  LockOrderGraph graph;
+  graph.RecordNode(0x1, 1, 0);
+  graph.RecordNode(0x2, 2, 0);
+  graph.RecordNode(0x3, 3, 0);
+  graph.RecordEdge(0x1, 0x2);
+  graph.RecordEdge(0x2, 0x3);
+  graph.RecordEdge(0x1, 0x3);
+  EXPECT_TRUE(graph.FindCycles().empty());
+}
+
+TEST(LockOrderGraphTest, TwoLockCycleIsFoundOnce) {
+  LockOrderGraph graph;
+  graph.RecordNode(0x1, 1, 0);
+  graph.RecordNode(0x2, 2, 0);
+  graph.RecordEdge(0x1, 0x2);
+  graph.RecordEdge(0x2, 0x1);
+  const auto cycles = graph.FindCycles();
+  // Canonical-start dedup: the A->B->A cycle must appear exactly once,
+  // rooted at its minimum node.
+  ASSERT_EQ(cycles.size(), 1u);
+  EXPECT_EQ(cycles[0].nodes, (std::vector<std::uint64_t>{0x1, 0x2}));
+  EXPECT_FALSE(cycles[0].cross_shard);
+}
+
+TEST(LockOrderGraphTest, CrossShardCycleIsClassified) {
+  LockOrderGraph graph;
+  graph.RecordNode(0x1, 1, 7);
+  graph.RecordNode(0x2, 1, 9);
+  graph.RecordEdge(0x1, 0x2);
+  graph.RecordEdge(0x2, 0x1);
+  const auto cycles = graph.FindCycles();
+  ASSERT_EQ(cycles.size(), 1u);
+  EXPECT_TRUE(cycles[0].cross_shard);
+}
+
+TEST(LockOrderGraphTest, ThreeLockCycle) {
+  LockOrderGraph graph;
+  for (std::uint64_t addr : {0x1, 0x2, 0x3}) graph.RecordNode(addr, 1, 0);
+  graph.RecordEdge(0x1, 0x2);
+  graph.RecordEdge(0x2, 0x3);
+  graph.RecordEdge(0x3, 0x1);
+  const auto cycles = graph.FindCycles();
+  ASSERT_EQ(cycles.size(), 1u);
+  EXPECT_EQ(cycles[0].nodes.size(), 3u);
+}
+
+TEST(LockOrderGraphTest, SidecarRoundTrips) {
+  LockOrderGraph graph;
+  graph.RecordNode(0xDEAD, 3, 7);
+  graph.RecordNode(0xBEEF, 4, 9);
+  graph.RecordEdge(0xDEAD, 0xBEEF);
+  graph.RecordEdge(0xBEEF, 0xDEAD);
+  graph.SetCounter("races_checked", 12345);
+
+  const std::string path = TempPath("lockgraph_roundtrip.lockgraph");
+  std::string error;
+  ASSERT_TRUE(graph.SaveTo(path, &error)) << error;
+
+  LockOrderGraph loaded;
+  ASSERT_TRUE(loaded.LoadFrom(path, &error)) << error;
+  ASSERT_EQ(loaded.Nodes().size(), 2u);
+  ASSERT_EQ(loaded.Edges().size(), 2u);
+  EXPECT_EQ(loaded.Counters().at("races_checked"), 12345u);
+  // Cross-shard classification survives the round trip.
+  for (const LockEdge& edge : loaded.Edges()) {
+    EXPECT_TRUE(edge.cross_shard);
+  }
+  ASSERT_EQ(loaded.FindCycles().size(), 1u);
+  std::remove(path.c_str());
+}
+
+TEST(LockOrderGraphTest, LoadRejectsWrongHeader) {
+  const std::string path = TempPath("lockgraph_bad_header");
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  std::fputs("not a lockgraph\n", f);
+  std::fclose(f);
+  LockOrderGraph graph;
+  std::string error;
+  EXPECT_FALSE(graph.LoadFrom(path, &error));
+  EXPECT_NE(error.find("not a tsp-lockgraph"), std::string::npos) << error;
+  std::remove(path.c_str());
+}
+
+TEST(LockOrderGraphTest, LoadRejectsGarbageLine) {
+  const std::string path = TempPath("lockgraph_garbage");
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  std::fputs("tsp-lockgraph v1\nwhat is this line\n", f);
+  std::fclose(f);
+  LockOrderGraph graph;
+  std::string error;
+  EXPECT_FALSE(graph.LoadFrom(path, &error));
+  EXPECT_NE(error.find("unparseable"), std::string::npos) << error;
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace tsp::analysis

@@ -153,6 +153,48 @@ TEST(TspLintTest, FindingSinkCountsPastTheCap) {
   EXPECT_NE(sink.ToText().find("+5 more"), std::string::npos);
 }
 
+TEST(TspLintTest, LockOrderFixtureIsFlagged) {
+  const report::FindingSink sink =
+      LintFixture(Testdata("lockorder_fixture.cc"));
+  std::multiset<int> lines;
+  for (const report::Finding& finding : sink.findings()) {
+    EXPECT_EQ(finding.rule, "lock-order") << finding.ToText();
+    EXPECT_EQ(finding.severity, report::Severity::kWarning);
+    lines.insert(LineOf(finding));
+  }
+  // Undocumented nesting (twice: second and third guard), plus the
+  // guard that survives a closing sibling block. The lock-order(...)
+  // and allow(lock-order) annotated sites, sequential guards, and the
+  // per-iteration loop guard must NOT appear.
+  EXPECT_EQ(lines, (std::multiset<int>{15, 17, 50}));
+  EXPECT_EQ(sink.total(), 3u);
+  EXPECT_EQ(sink.error_count(), 0u);
+}
+
+TEST(TspLintTest, UnknownAllowRuleNamesAreFlagged) {
+  const report::FindingSink sink =
+      LintFixture(Testdata("unknown_allow_fixture.cc"));
+  std::multiset<int> lines;
+  for (const report::Finding& finding : sink.findings()) {
+    EXPECT_EQ(finding.rule, "unknown-rule") << finding.ToText();
+    EXPECT_EQ(finding.severity, report::Severity::kError);
+    lines.insert(LineOf(finding));
+  }
+  // The typo, the made-up name, and the bad second name in a list; the
+  // well-formed allow(raw-store) escapes must NOT appear.
+  EXPECT_EQ(lines, (std::multiset<int>{7, 8, 12}));
+  EXPECT_EQ(sink.total(), 3u);
+}
+
+TEST(TspLintTest, RuleRegistryCoversEveryEmittedRule) {
+  // Every rule name the linter can emit must be a valid allow() target.
+  for (const char* rule :
+       {"raw-store", "pmutex-pairing", "flush-misuse", "raw-mmap",
+        "raw-logging", "lock-order", "unknown-rule"}) {
+    EXPECT_EQ(RuleRegistry().count(rule), 1u) << rule;
+  }
+}
+
 // The real tree must be clean: every raw persistent store is either
 // routed through the logged-store API, annotated as blessed
 // pre-publication init, or inside a declared non-blocking domain.

@@ -47,6 +47,10 @@ struct FileText {
   std::vector<std::string> code;  // comments and string contents blanked
   /// line number (1-based) -> rules allowed on that line.
   std::map<int, std::set<std::string>> allowed;
+  /// Every `allow(<rule>)` escape exactly where it was written, for
+  /// unknown-rule validation. The `allowed` map cannot serve: it
+  /// propagates each rule to lineno+1, which would double-report.
+  std::vector<std::pair<int, std::string>> annotations;
   bool nonblocking_domain = false;
 };
 
@@ -58,6 +62,7 @@ FileText LoadFile(const std::string& path) {
   static const std::regex kAllowRe(
       R"(tsp-lint:\s*allow\(\s*([a-z0-9_, -]+)\s*\))");
   static const std::regex kNonBlockingRe(R"(tsp-lint:\s*nonblocking)");
+  static const std::regex kLockOrderAnnRe(R"(tsp-lint:\s*lock-order\s*\()");
 
   bool in_block_comment = false;
   for (std::size_t i = 0; i < text.raw.size(); ++i) {
@@ -76,11 +81,19 @@ FileText LoadFile(const std::string& path) {
         if (!rule.empty()) {
           text.allowed[lineno].insert(rule);
           text.allowed[lineno + 1].insert(rule);
+          text.annotations.emplace_back(lineno, rule);
         }
       }
     }
     if (std::regex_search(raw, kNonBlockingRe)) {
       text.nonblocking_domain = true;
+    }
+    // A lock-order(...) documentation annotation satisfies the
+    // lock-order rule like an allow() would (own line and the next),
+    // but is not an allow() escape, so it skips unknown-rule checking.
+    if (std::regex_search(raw, kLockOrderAnnRe)) {
+      text.allowed[lineno].insert("lock-order");
+      text.allowed[lineno + 1].insert("lock-order");
     }
 
     // Blank comments and string/char literal contents, preserving
@@ -194,6 +207,10 @@ const std::regex kRawLogRe(
 
 const std::regex kLockCallRe(R"([\w\)\]]\s*(?:->|\.)\s*lock\s*\()");
 const std::regex kUnlockCallRe(R"([\w\)\]]\s*(?:->|\.)\s*unlock\s*\()");
+// A PMutexLock guard *declaration* (`PMutexLock name(...)` or brace
+// init). The required variable name keeps the class definition,
+// constructors, and `PMutexLock&` parameters from matching.
+const std::regex kPMutexLockDeclRe(R"(\bPMutexLock\s+[A-Za-z_]\w*\s*[({])");
 const std::regex kFlushCallRe(R"(\b(FlushLine|StoreFence)\s*\()");
 const std::regex kMmapRe(R"(\bmmap\s*\(|\bMAP_FIXED\b)");
 
@@ -214,7 +231,26 @@ std::string Location(const std::string& path, int lineno) {
   return path + ":" + std::to_string(lineno);
 }
 
+std::string KnownRuleList() {
+  std::string out;
+  for (const std::string& rule : RuleRegistry()) {
+    if (!out.empty()) out += ", ";
+    out += rule;
+  }
+  return out;
+}
+
 }  // namespace
+
+const std::set<std::string>& RuleRegistry() {
+  // `unknown-rule` is itself a member so `allow(unknown-rule)` is a
+  // valid escape rather than a paradox.
+  static const std::set<std::string> kRules = {
+      "raw-store",   "pmutex-pairing", "flush-misuse", "raw-mmap",
+      "raw-logging", "lock-order",     "unknown-rule",
+  };
+  return kRules;
+}
 
 std::vector<std::string> GatherSources(const std::vector<std::string>& roots,
                                        const LintConfig& config) {
@@ -264,9 +300,28 @@ void LintFile(const std::string& path, const std::set<std::string>& types,
               const LintConfig& config, report::FindingSink* sink) {
   const FileText text = LoadFile(path);
 
+  // --- rule: unknown-rule (validate every allow() escape) ---
+  for (const auto& [ann_line, ann_rule] : text.annotations) {
+    if (RuleRegistry().count(ann_rule) != 0) continue;
+    if (Allowed(text, ann_line, "unknown-rule")) continue;
+    report::Finding finding;
+    finding.severity = report::Severity::kError;
+    finding.tool = "tsp-lint";
+    finding.rule = "unknown-rule";
+    finding.location = Location(path, ann_line);
+    finding.message =
+        "tsp-lint: allow(" + ann_rule +
+        ") names a rule that does not exist, so it suppresses nothing; "
+        "known rules: " + KnownRuleList();
+    sink->Add(std::move(finding));
+  }
+
   std::map<std::string, TrackedVar> tracked;
   int locks = 0, unlocks = 0;
   int first_lock_line = 0;
+  // Active PMutexLock guard scopes: (brace depth at declaration, line).
+  std::vector<std::pair<int, int>> lock_scopes;
+  int brace_depth = 0;
   const bool mentions_pmutex = [&] {
     for (const std::string& code : text.code) {
       if (code.find("PMutex") != std::string::npos) return true;
@@ -376,6 +431,52 @@ void LintFile(const std::string& path, const std::set<std::string>& types,
            end;
            it != end; ++it) {
         ++unlocks;
+      }
+    }
+
+    // --- rule: lock-order (nested PMutexLock guards) ---
+    // Brace-depth scope tracking: a guard dies when its enclosing block
+    // closes, so the per-iteration guard in a loop body never counts as
+    // nested with itself. A declaration while another guard is live is
+    // a nested acquisition and must carry a lock-order(...) note.
+    if (mentions_pmutex) {
+      std::vector<std::size_t> decl_cols;
+      for (std::sregex_iterator it(code.begin(), code.end(), kPMutexLockDeclRe),
+           end;
+           it != end; ++it) {
+        decl_cols.push_back(static_cast<std::size_t>(it->position(0)));
+      }
+      std::size_t next_decl = 0;
+      for (std::size_t c = 0; c < code.size(); ++c) {
+        if (next_decl < decl_cols.size() && c == decl_cols[next_decl]) {
+          ++next_decl;
+          if (!lock_scopes.empty() && !Allowed(text, lineno, "lock-order")) {
+            report::Finding finding;
+            finding.severity = report::Severity::kWarning;
+            finding.tool = "tsp-lint";
+            finding.rule = "lock-order";
+            finding.location = Location(path, lineno);
+            finding.message =
+                "PMutexLock acquired while the guard from line " +
+                std::to_string(lock_scopes.back().second) +
+                " is still held; nested PMutex acquisition must document "
+                "its ordering: // tsp-lint: lock-order(<outer> before "
+                "<inner>) (or annotate: // tsp-lint: allow(lock-order))";
+            sink->Add(std::move(finding));
+          }
+          lock_scopes.emplace_back(brace_depth, lineno);
+        }
+        if (code[c] == '{') {
+          ++brace_depth;
+        } else if (code[c] == '}') {
+          --brace_depth;
+          // A guard declared at interior depth d dies when depth drops
+          // below d (closing an inner sibling block leaves it alive).
+          while (!lock_scopes.empty() &&
+                 lock_scopes.back().first > brace_depth) {
+            lock_scopes.pop_back();
+          }
+        }
       }
     }
 

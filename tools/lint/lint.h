@@ -27,11 +27,25 @@
 //                   through TSP_LOG so TSP_LOG_LEVEL filtering and the
 //                   single-write atomicity of common/logging apply;
 //                   tools, benches, and examples keep plain stdio.
+//   lock-order      a PMutexLock declared while another PMutexLock is
+//                   still in scope (a nested acquisition — the static
+//                   companion of TSPRace's lock-order graph). Nested
+//                   sites must document their ordering with a
+//                   `// tsp-lint: lock-order(<outer> before <inner>)`
+//                   annotation so the cycle-freedom argument is written
+//                   down where the nesting happens.
+//   unknown-rule    a `tsp-lint: allow(<name>)` escape naming a rule
+//                   that does not exist (see RuleRegistry); a typoed
+//                   escape would otherwise silently suppress nothing
+//                   while looking like it suppresses something.
 //
 // Escape hatches:
 //   `// tsp-lint: allow(<rule>)` on the offending line or the line
 //   directly above suppresses that rule there (used for blessed raw
-//   initialization of unpublished objects).
+//   initialization of unpublished objects). Rule names are validated
+//   against RuleRegistry(); unknown names are findings themselves.
+//   `// tsp-lint: lock-order(...)` documents a nested acquisition and
+//   satisfies the lock-order rule on its own line and the next.
 //   A file containing `tsp-lint: nonblocking` anywhere declares a §4.1
 //   non-blocking domain: raw-store is off for the whole file, matching
 //   the dynamic sanitizer's RegisterNonBlockingRange exemption.
@@ -80,6 +94,11 @@ struct LintConfig {
       "build", "testdata", ".git", "third_party",
   };
 };
+
+/// The rule names a `tsp-lint: allow(...)` escape may reference; an
+/// allow() naming anything else is reported as an `unknown-rule`
+/// finding.
+const std::set<std::string>& RuleRegistry();
 
 /// Recursively collects .h/.hpp/.cc/.cpp files under each root (a root
 /// may also be a single file), skipping config.skip_components.

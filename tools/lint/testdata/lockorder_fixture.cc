@@ -1,0 +1,51 @@
+// Deliberately bad fixture for the lock-order rule: nested PMutexLock
+// acquisitions without a documenting annotation. The class stub keeps
+// the fixture self-contained; the rule is lexical and only needs the
+// PMutexLock name.
+
+struct PMutex {};
+struct PMutexLock {
+  explicit PMutexLock(PMutex*) {}
+};
+
+PMutex a, b, c;
+
+void UndocumentedNesting() {
+  PMutexLock outer(&a);
+  PMutexLock inner(&b);  // flagged (line 15): nested, no annotation
+  {
+    PMutexLock third(&c);  // flagged (line 17): still nested
+  }
+}
+
+void DocumentedNesting() {
+  PMutexLock outer(&a);
+  // tsp-lint: lock-order(a before b)
+  PMutexLock inner(&b);  // suppressed by the line above
+  // tsp-lint: allow(lock-order)
+  PMutexLock third(&c);  // suppressed by the allow escape
+}
+
+void SequentialGuardsAreFine() {
+  {
+    PMutexLock first(&a);
+  }
+  {
+    PMutexLock second(&b);  // first is out of scope: not nested
+  }
+}
+
+void LoopGuardIsFine() {
+  for (int i = 0; i < 4; ++i) {
+    PMutexLock guard(&a);  // one live guard per iteration: not nested
+  }
+}
+
+void InnerSiblingBlockKeepsGuardAlive() {
+  PMutexLock outer(&a);
+  if (true) {
+    int unused = 0;
+    (void)unused;
+  }
+  PMutexLock inner(&b);  // flagged (line 50): outer is still held
+}

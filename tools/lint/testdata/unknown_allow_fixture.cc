@@ -1,0 +1,16 @@
+// Deliberately bad fixture for the unknown-rule rule: allow() escapes
+// naming rules that do not exist. A typoed escape suppresses nothing
+// while looking like it suppresses something, so it is itself a
+// finding.
+
+void Noop() {
+  int x = 0;  // tsp-lint: allow(raw-stor)  <- flagged (line 7): typo
+  // tsp-lint: allow(no-such-rule)  <- flagged (line 8)
+  int y = 1;
+  // tsp-lint: allow(raw-store)  <- valid name, no finding
+  int z = 2;
+  // tsp-lint: allow(raw-store, flushmisuse)  <- flagged (line 12): 2nd name
+  (void)x;
+  (void)y;
+  (void)z;
+}

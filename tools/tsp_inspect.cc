@@ -12,6 +12,7 @@
 //   $ tsp_inspect log a.heap -v             # ... with per-entry dump
 //   $ tsp_inspect trace a.heap              # flight-recorder event stream
 //   $ tsp_inspect metrics a.heap b.heap     # registry snapshot (JSON)
+//   $ tsp_inspect locks run.lockgraph       # TSPRace lock-order graph
 //
 // Every command accepts multiple heap files (a sharded domain's shard
 // set); output is attributed per shard and the exit code is nonzero if
@@ -32,6 +33,7 @@
 #include <map>
 #include <memory>
 
+#include "analysis/lock_order.h"
 #include "atlas/log_layout.h"
 #include "common/findings.h"
 #include "lockfree/queue.h"
@@ -569,17 +571,146 @@ int RunMetrics(const std::vector<std::string>& paths) {
   return exit_code;
 }
 
+/// Loads and prints a TSPRace lock-order sidecar (saved via
+/// TSP_RACE_GRAPH=<path> or RaceDetector::SaveLockGraph). Accepts the
+/// sidecar file itself or a heap path with a `<path>.lockgraph` sibling.
+/// Exit code 1 when any lock-order cycle exists — a deadlock risk, and
+/// for cross-shard cycles a falsifier of "recoveries commute".
+int RunLocks(const std::vector<std::string>& paths, bool json) {
+  int exit_code = 0;
+  bool first = true;
+  if (json) std::printf("[");
+  for (const std::string& path : paths) {
+    tsp::analysis::LockOrderGraph graph;
+    std::string loaded_from = path;
+    std::string error;
+    if (!graph.LoadFrom(path, &error)) {
+      const std::string sidecar = path + ".lockgraph";
+      std::string sidecar_error;
+      if (graph.LoadFrom(sidecar, &sidecar_error)) {
+        loaded_from = sidecar;
+      } else {
+        if (json) {
+          std::printf("%s{\"path\":\"%s\",\"ok\":false,\"error\":\"%s\"}",
+                      first ? "" : ",",
+                      tsp::report::JsonEscape(path).c_str(),
+                      tsp::report::JsonEscape(error).c_str());
+          first = false;
+        } else {
+          std::fprintf(stderr, "cannot load lock graph from %s: %s\n",
+                       path.c_str(), error.c_str());
+        }
+        exit_code = 1;
+        continue;
+      }
+    }
+    const std::vector<tsp::analysis::LockNode> nodes = graph.Nodes();
+    const std::vector<tsp::analysis::LockEdge> edges = graph.Edges();
+    const std::vector<tsp::analysis::LockCycle> cycles = graph.FindCycles();
+    if (!cycles.empty()) exit_code = 1;
+
+    if (json) {
+      std::printf("%s{\"path\":\"%s\",\"ok\":true,\"nodes\":[",
+                  first ? "" : ",",
+                  tsp::report::JsonEscape(loaded_from).c_str());
+      first = false;
+      bool comma = false;
+      for (const auto& node : nodes) {
+        std::printf("%s{\"addr\":\"0x%" PRIx64 "\",\"lock_id\":%u,"
+                    "\"runtime\":%" PRIu64 ",\"acquisitions\":%" PRIu64 "}",
+                    comma ? "," : "", node.addr, node.lock_id, node.runtime,
+                    node.acquisitions);
+        comma = true;
+      }
+      std::printf("],\"edges\":[");
+      comma = false;
+      for (const auto& edge : edges) {
+        std::printf("%s{\"from\":\"0x%" PRIx64 "\",\"to\":\"0x%" PRIx64
+                    "\",\"count\":%" PRIu64 ",\"cross_shard\":%s}",
+                    comma ? "," : "", edge.from, edge.to, edge.count,
+                    edge.cross_shard ? "true" : "false");
+        comma = true;
+      }
+      std::printf("],\"cycles\":[");
+      comma = false;
+      for (const auto& cycle : cycles) {
+        std::printf("%s{\"cross_shard\":%s,\"nodes\":[",
+                    comma ? "," : "", cycle.cross_shard ? "true" : "false");
+        bool inner = false;
+        for (const std::uint64_t addr : cycle.nodes) {
+          std::printf("%s\"0x%" PRIx64 "\"", inner ? "," : "", addr);
+          inner = true;
+        }
+        std::printf("]}");
+        comma = true;
+      }
+      std::printf("],\"counters\":{");
+      comma = false;
+      for (const auto& [name, value] : graph.Counters()) {
+        std::printf("%s\"%s\":%" PRIu64, comma ? "," : "",
+                    tsp::report::JsonEscape(name).c_str(), value);
+        comma = true;
+      }
+      std::printf("}}");
+      continue;
+    }
+
+    if (paths.size() > 1) std::printf("=== %s ===\n", loaded_from.c_str());
+    std::printf("lock-order graph: %zu locks, %zu ordered edges\n",
+                nodes.size(), edges.size());
+    for (const auto& [name, value] : graph.Counters()) {
+      std::printf("  %-28s %" PRIu64 "\n", (name + ":").c_str(), value);
+    }
+    for (const auto& node : nodes) {
+      std::printf("  lock 0x%" PRIx64 " id=%u runtime=%" PRIu64
+                  " acquisitions=%" PRIu64 "\n",
+                  node.addr, node.lock_id, node.runtime, node.acquisitions);
+    }
+    for (const auto& edge : edges) {
+      std::printf("  edge 0x%" PRIx64 " -> 0x%" PRIx64 " count=%" PRIu64
+                  "%s\n",
+                  edge.from, edge.to, edge.count,
+                  edge.cross_shard ? " [cross-shard]" : "");
+    }
+    if (cycles.empty()) {
+      std::printf("  no lock-order cycles\n");
+    }
+    for (const auto& cycle : cycles) {
+      std::string chain;
+      for (const std::uint64_t addr : cycle.nodes) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "0x%" PRIx64, addr);
+        if (!chain.empty()) chain += " -> ";
+        chain += buf;
+      }
+      if (!cycle.nodes.empty()) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "0x%" PRIx64, cycle.nodes.front());
+        chain += std::string(" -> ") + buf;
+      }
+      std::printf("  CYCLE: %s%s\n", chain.c_str(),
+                  cycle.cross_shard
+                      ? " [cross-shard: falsifies recovery commutation]"
+                      : " [deadlock risk]");
+    }
+  }
+  if (json) std::printf("]\n");
+  return exit_code;
+}
+
 bool IsCommand(const std::string& word) {
   return word == "header" || word == "alloc" || word == "check" ||
          word == "log" || word == "stats" || word == "trace" ||
-         word == "metrics";
+         word == "metrics" || word == "locks";
 }
 
 int Usage(const char* prog) {
   std::fprintf(stderr,
                "usage: %s {header | alloc | stats [--json] | check "
-               "[--json] | log [-v] | trace [--json] [-v] | metrics} "
-               "<heap-file> [<heap-file>...]\n"
+               "[--json] | log [-v] | trace [--json] [-v] | metrics | "
+               "locks [--json]} <heap-file> [<heap-file>...]\n"
+               "       (locks takes TSPRace lockgraph sidecars, saved "
+               "via TSP_RACE_GRAPH=<path>)\n"
                "       %s <heap-file> <command> [flags]   (historical "
                "order)\n",
                prog, prog);
@@ -610,9 +741,11 @@ int main(int argc, char** argv) {
   }
   if (command.empty() || paths.empty()) return Usage(argv[0]);
 
-  // These two aggregate over the whole shard set rather than iterating.
+  // These aggregate over the whole shard set rather than iterating.
   if (command == "stats") return RunStats(paths, json);
   if (command == "metrics") return RunMetrics(paths);
+  // `locks` reads lockgraph sidecars, not heap files.
+  if (command == "locks") return RunLocks(paths, json);
 
   const bool json_array = json && (command == "check" || command == "trace");
   int exit_code = 0;
